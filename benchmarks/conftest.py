@@ -1,0 +1,34 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artifact end-to-end (workload
+generation, instrumented encode, simulation, reporting).  A single
+session-scoped cache is shared across all benchmark files, mirroring
+how the paper's figures share underlying measurement runs.
+
+By default the benchmarks run on the reduced REPRO_FAST grids so a
+full ``pytest benchmarks/ --benchmark-only`` pass completes in
+minutes; set ``REPRO_FULL=1`` to regenerate the artifacts over all
+fifteen vbench clips and the full CRF/preset grids.
+"""
+
+import os
+
+if os.environ.get("REPRO_FULL", "") in ("", "0"):
+    os.environ.setdefault("REPRO_FAST", "1")
+
+import pytest
+
+from repro.core.session import Session
+from repro.experiments.common import fast_mode
+
+
+@pytest.fixture(scope="session")
+def exp_session():
+    """One shared measurement cache for every benchmark."""
+    return Session(num_frames=3 if fast_mode() else None)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

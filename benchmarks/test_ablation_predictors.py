@@ -1,0 +1,37 @@
+"""Ablation: predictor schemes beyond the paper's four.
+
+Adds the tournament and perceptron predictors to the CBP run (the
+paper's "more complicated schemes" future work) on one trace set.
+"""
+
+from conftest import run_once
+
+from repro.cbp import capture_trace, run_championship
+from repro.uarch.branch import (
+    PAPER_PREDICTORS,
+    BimodalPredictor,
+    PerceptronPredictor,
+    TournamentPredictor,
+)
+from repro.video import vbench
+
+
+def _championship():
+    traces = [
+        capture_trace(vbench.load(name, num_frames=3), crf=60, preset=4,
+                      fraction=0.8, max_events=15_000)
+        for name in ("game1", "hall")
+    ]
+    predictors = dict(PAPER_PREDICTORS)
+    predictors["bimodal-2KB"] = lambda: BimodalPredictor(2048)
+    predictors["tournament-8KB"] = TournamentPredictor
+    predictors["perceptron"] = PerceptronPredictor
+    return run_championship(traces, predictors)
+
+
+def test_predictor_ablation(benchmark):
+    result = run_once(benchmark, _championship)
+    mpki = result.mean_mpki()
+    # History-based schemes must beat the plain bimodal baseline.
+    assert mpki["tage-8KB"] < mpki["bimodal-2KB"]
+    assert mpki["tournament-8KB"] < mpki["bimodal-2KB"]

@@ -1,0 +1,29 @@
+"""Ablation: hardware prefetchers on encoder memory traffic.
+
+DESIGN.md §7 extension: how much of the encode's L1D miss traffic do
+next-line and stride prefetchers recover?  Streaming pixel kernels are
+the best case for both, so both must help substantially.
+"""
+
+from conftest import run_once
+
+from repro.codecs import create_encoder
+from repro.uarch import XEON_L1D
+from repro.uarch.cache import expand_touches
+from repro.uarch.prefetch import prefetcher_ablation
+from repro.video import vbench
+
+
+def _ablate():
+    video = vbench.load("game1", num_frames=3)
+    result = create_encoder("svt-av1", crf=50, preset=6).encode(
+        video, footprint_scale=(15.0, 15.0)
+    )
+    lines = expand_touches(result.instrumenter, sample_period=1)[:200_000]
+    return prefetcher_ablation(lines, XEON_L1D)
+
+
+def test_prefetch_ablation(benchmark):
+    results = run_once(benchmark, _ablate)
+    assert results["next-line"].miss_rate < results["none"].miss_rate
+    assert results["stride"].miss_rate < results["none"].miss_rate

@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 1 (execution time per codec across CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_runtime
+
+
+def test_fig01(benchmark, exp_session):
+    result = run_once(benchmark, fig01_runtime.run, session=exp_session)
+    svt = result.get_series("svt-av1").y
+    x264 = result.get_series("x264").y
+    assert all(s > 2.5 * x for s, x in zip(svt, x264))
+    assert svt[-1] < svt[0]

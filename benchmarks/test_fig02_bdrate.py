@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 2 (BD-rate vs runtime; PSNR vs runtime)."""
+
+from conftest import run_once
+
+from repro.experiments import common, fig02_quality
+
+
+def test_fig02(benchmark, exp_session):
+    saved = common.sweep_crfs
+    if len(saved()) < 4:
+        common.sweep_crfs = lambda: (10, 25, 45, 60)
+    try:
+        result = run_once(benchmark, fig02_quality.run, session=exp_session)
+    finally:
+        common.sweep_crfs = saved
+    table = result.table("Fig 2a: PSNR BD-rate (% vs x264) and mean runtime")
+    bd = dict(zip(table.column("codec"), table.column("bd_rate_pct")))
+    assert bd["svt-av1"] == min(bd.values())

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 3 (op-mix per video across CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_opmix
+
+
+def test_fig03(benchmark, exp_session):
+    result = run_once(benchmark, fig03_opmix.run, session=exp_session)
+    assert result.tables[0].rows
+    for series in result.series:
+        assert all(20.0 <= v <= 45.0 for v in series.y)

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 4 (#insts, time, IPC vs CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig04_crf_sweep
+from repro.experiments.common import sweep_videos
+
+
+def test_fig04(benchmark, exp_session):
+    result = run_once(benchmark, fig04_crf_sweep.run, session=exp_session)
+    for video in sweep_videos():
+        insts = result.get_series(f"insts:{video}").y
+        assert insts[-1] < insts[0]
+        ipc = result.get_series(f"ipc:{video}").y
+        assert max(ipc) / min(ipc) < 1.3

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 5 (top-down analysis per video across CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_topdown
+
+
+def test_fig05(benchmark, exp_session):
+    result = run_once(benchmark, fig05_topdown.run, session=exp_session)
+    for row in result.tables[0].rows:
+        retiring = row[2]
+        assert 0.35 <= retiring <= 0.75

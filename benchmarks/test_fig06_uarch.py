@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 6 (branch/cache MPKI + resource stalls vs CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig06_uarch
+from repro.experiments.common import sweep_videos
+
+
+def test_fig06(benchmark, exp_session):
+    result = run_once(benchmark, fig06_uarch.run, session=exp_session)
+    for video in sweep_videos():
+        llc = result.get_series(f"llc_mpki:{video}").y
+        l1d = result.get_series(f"l1d_mpki:{video}").y
+        assert all(small < big for small, big in zip(llc, l1d))

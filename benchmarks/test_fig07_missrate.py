@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 7 (branch miss rate vs CRF)."""
+
+from conftest import run_once
+
+from repro.experiments import fig07_missrate
+from repro.experiments.common import sweep_videos
+
+
+def test_fig07(benchmark, exp_session):
+    result = run_once(benchmark, fig07_missrate.run, session=exp_session)
+    for video in sweep_videos():
+        rates = result.get_series(video).y
+        assert rates[-1] <= rates[0] * 1.2

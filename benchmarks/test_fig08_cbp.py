@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 8 (CBP MPKI; traces at preset 8, CRF 63)."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_10_cbp
+
+
+def test_fig08(benchmark):
+    result = run_once(benchmark, fig08_10_cbp.run, figure="fig08")
+    means = {s.name: sum(s.y) / len(s.y) for s in result.series}
+    assert means["tage-8KB"] < means["gshare-2KB"]

@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 9 (CBP MPKI; traces at preset 4, CRF 10)."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_10_cbp
+
+
+def test_fig09(benchmark):
+    result = run_once(benchmark, fig08_10_cbp.run, figure="fig09")
+    means = {s.name: sum(s.y) / len(s.y) for s in result.series}
+    assert means["tage-64KB"] < means["gshare-32KB"]

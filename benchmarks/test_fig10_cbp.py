@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 10 (CBP MPKI; traces at preset 4, CRF 60)."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_10_cbp
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, fig08_10_cbp.run, figure="fig10")
+    means = {s.name: sum(s.y) / len(s.y) for s in result.series}
+    assert means["tage-8KB"] < means["gshare-2KB"]
+    assert means["gshare-32KB"] <= means["gshare-2KB"] * 1.05

@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 11 (SVT-AV1 preset sweep on game1)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_preset
+
+
+def test_fig11(benchmark, exp_session):
+    result = run_once(benchmark, fig11_preset.run, session=exp_session)
+    time = result.get_series("time").y
+    psnr = result.get_series("psnr").y
+    assert time[-1] < time[0] / 3
+    assert abs(psnr[0] - psnr[-1]) < 4.0

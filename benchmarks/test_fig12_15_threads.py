@@ -1,0 +1,17 @@
+"""Benchmark: Figs. 12-15 (thread scalability, four x264 configs)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig12_15_threads
+
+
+@pytest.mark.parametrize("figure", ["fig12", "fig13", "fig14", "fig15"])
+def test_thread_figures(benchmark, exp_session, figure):
+    result = run_once(
+        benchmark, fig12_15_threads.run, figure=figure, session=exp_session
+    )
+    svt = result.get_series("svt-av1").y
+    x265 = result.get_series("x265").y
+    assert svt[-1] > 4.0
+    assert x265[-1] < 1.7

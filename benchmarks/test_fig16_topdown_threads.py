@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 16 (top-down vs thread count)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_threads_topdown
+
+
+def test_fig16(benchmark, exp_session):
+    result = run_once(
+        benchmark, fig16_threads_topdown.run, session=exp_session
+    )
+    x265 = result.get_series("backend:x265").y
+    assert x265[-1] > x265[0] + 0.05

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (vbench catalog + proxy entropies)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    assert len(result.tables[0].rows) == 15

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (SVT-AV1 instruction mix)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, exp_session):
+    result = run_once(benchmark, table2.run, session=exp_session)
+    table = result.tables[0]
+    for row in table.rows:
+        branch, load, store, avx = row[2], row[3], row[4], row[5]
+        assert 2.0 <= branch <= 9.0
+        assert 20.0 <= load <= 33.0
+        assert 9.0 <= store <= 18.0
+        assert 24.0 <= avx <= 42.0

@@ -1,0 +1,34 @@
+"""Quickstart: characterize one SVT-AV1 encode the way the paper does.
+
+Generates the ``game1`` proxy clip, encodes it with the SVT-AV1 model
+at CRF 40 / preset 6 under full instrumentation, and prints the
+perf-style report (instruction mix, IPC, top-down, cache/branch MPKI)
+plus the gprof-style hot-function profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.codecs import create_encoder
+from repro.core import characterize, workload_scales
+from repro.profiling import flat_profile, format_flat_profile, format_perf_report
+from repro.video import vbench
+
+
+def main() -> None:
+    video = vbench.load("game1", num_frames=4)
+    encoder = create_encoder("svt-av1", crf=40, preset=6)
+
+    report = characterize(encoder, video)
+    print(format_perf_report(report))
+
+    # The gprof-substitute view: where did the instructions go?
+    scale_h, scale_w, _, _ = workload_scales(video)
+    result = create_encoder("svt-av1", crf=40, preset=6).encode(
+        video, footprint_scale=(scale_h, scale_w)
+    )
+    print("\nhot functions (gprof-style flat profile):")
+    print(format_flat_profile(flat_profile(result.instrumenter)[:8]))
+
+
+if __name__ == "__main__":
+    main()

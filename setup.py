@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline environment lacks `wheel`, so PEP 517 editable installs
+fail; this file enables pip's legacy `setup.py develop` path
+(`pip install -e . --no-use-pep517 --no-build-isolation`).
+"""
+
+from setuptools import setup
+
+setup()

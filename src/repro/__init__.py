@@ -1,0 +1,43 @@
+"""repro — reproduction of "Do Video Encoding Workloads Stress the
+Microarchitecture?" (IISWC 2023).
+
+The library is organised as the paper's toolchain is:
+
+- :mod:`repro.video` — vbench workloads, Y4M I/O, PSNR/bitrate/BD-rate.
+- :mod:`repro.codecs` — block-transform encoder framework plus AV1
+  (SVT-AV1/libaom), VP9, H.264 (x264) and H.265 (x265) encoder models.
+- :mod:`repro.trace` — the Pin substitute: instruction mixes, branch
+  traces, memory touches, function profiles.
+- :mod:`repro.uarch` — cache hierarchy, branch predictors, and the
+  top-down out-of-order core model (the perf substitute).
+- :mod:`repro.cbp` — Championship Branch Prediction harness.
+- :mod:`repro.parallel` — encoder task-graph thread-scaling models.
+- :mod:`repro.profiling` — gprof/perf-style report front-ends.
+- :mod:`repro.core` — the characterization methodology: single-encode
+  characterization and CRF/preset/thread sweeps.
+- :mod:`repro.experiments` — one entry per paper table/figure.
+
+Quickstart::
+
+    import repro
+
+    video = repro.video.load("game1")
+    encoder = repro.codecs.create_encoder("svt-av1", crf=40, preset=6)
+    result = repro.core.characterize(encoder, video)
+    print(result.summary())
+"""
+
+from . import (  # noqa: F401  (subpackages re-exported)
+    cbp,
+    codecs,
+    core,
+    errors,
+    experiments,
+    parallel,
+    profiling,
+    trace,
+    uarch,
+    video,
+)
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Championship Branch Prediction framework (CBP-2016 substitute)."""
+
+from .harness import (
+    ChampionshipResult,
+    format_scoreboard,
+    run_championship,
+)
+from .traces import capture_trace
+
+__all__ = [
+    "ChampionshipResult",
+    "capture_trace",
+    "format_scoreboard",
+    "run_championship",
+]

@@ -1,0 +1,96 @@
+"""Championship Branch Prediction (CBP-2016 style) harness.
+
+The paper evaluates Gshare (2 KB / 32 KB) and TAGE (8 KB / 64 KB) on
+branch traces captured from SVT-AV1 encodes (§4.4, Figs. 8-10).  This
+module reproduces the CBP evaluation loop: replay each trace through
+each predictor (predict, then train, in trace order) and score
+mispredictions per kilo-instruction and miss rate.
+
+Traces come from :func:`repro.cbp.traces.capture_trace`, which runs an
+instrumented encode and cuts the paper's "interval roughly halfway
+through the run" window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..errors import SimulationError
+from ..trace.branchtrace import BranchTrace
+from ..uarch.branch import PAPER_PREDICTORS
+from ..uarch.branch.base import BranchPredictor, PredictorResult, run_trace
+
+PredictorFactory = Callable[[], BranchPredictor]
+
+
+@dataclass(frozen=True)
+class ChampionshipResult:
+    """Cross-product of predictors x traces, plus rankings."""
+
+    results: list[PredictorResult]
+
+    def by_predictor(self) -> dict[str, list[PredictorResult]]:
+        """Group rows per predictor (trace order preserved)."""
+        grouped: dict[str, list[PredictorResult]] = {}
+        for row in self.results:
+            grouped.setdefault(row.predictor, []).append(row)
+        return grouped
+
+    def mean_mpki(self) -> dict[str, float]:
+        """Arithmetic-mean MPKI per predictor (the CBP score)."""
+        return {
+            name: sum(r.mpki for r in rows) / len(rows)
+            for name, rows in self.by_predictor().items()
+        }
+
+    def mean_miss_rate(self) -> dict[str, float]:
+        """Arithmetic-mean miss rate per predictor."""
+        return {
+            name: sum(r.miss_rate for r in rows) / len(rows)
+            for name, rows in self.by_predictor().items()
+        }
+
+    def ranking(self) -> list[str]:
+        """Predictors ordered best (lowest mean MPKI) first."""
+        scores = self.mean_mpki()
+        return sorted(scores, key=scores.__getitem__)
+
+
+def run_championship(
+    traces: Iterable[BranchTrace],
+    predictors: Mapping[str, PredictorFactory] | None = None,
+) -> ChampionshipResult:
+    """Evaluate every predictor on every trace.
+
+    Each (predictor, trace) pairing gets a *fresh* predictor instance,
+    as the championship rules require (no cross-trace warm-up).
+    """
+    if predictors is None:
+        predictors = PAPER_PREDICTORS
+    trace_list = list(traces)
+    if not trace_list:
+        raise SimulationError("championship needs at least one trace")
+    if not predictors:
+        raise SimulationError("championship needs at least one predictor")
+    results = []
+    for name, factory in predictors.items():
+        for trace in trace_list:
+            predictor = factory()
+            if predictor.name != name:
+                # Keep reported names consistent with registry keys.
+                predictor.name = name
+            results.append(run_trace(predictor, trace))
+    return ChampionshipResult(results=results)
+
+
+def format_scoreboard(result: ChampionshipResult) -> str:
+    """Human-readable per-predictor scoreboard."""
+    lines = [f"{'predictor':>14}  {'mean MPKI':>9}  {'mean miss%':>10}"]
+    mpki = result.mean_mpki()
+    miss = result.mean_miss_rate()
+    for name in result.ranking():
+        lines.append(
+            f"{name:>14}  {mpki[name]:9.3f}  {miss[name] * 100:10.2f}"
+        )
+    return "\n".join(lines)

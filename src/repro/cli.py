@@ -1,0 +1,78 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's workflows:
+
+``list``
+    Show the available encoders, vbench clips and experiment ids.
+``encode``
+    Characterize one encode and print the perf-style report.
+``experiment``
+    Regenerate a paper table/figure and print its rows/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .codecs import encoder_names
+from .core import characterize, format_result
+from .experiments import experiment_ids, run_experiment
+from .profiling import format_perf_report
+from .video import vbench
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Do Video Encoding Workloads Stress the "
+            "Microarchitecture?' (IISWC 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list encoders, clips and experiments")
+
+    encode = sub.add_parser("encode", help="characterize one encode")
+    encode.add_argument("--codec", default="svt-av1", choices=encoder_names())
+    encode.add_argument("--video", default="game1")
+    encode.add_argument("--crf", type=float, default=40)
+    encode.add_argument("--preset", type=int, default=6)
+    encode.add_argument("--frames", type=int, default=None)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("id", choices=experiment_ids())
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("encoders:    " + ", ".join(encoder_names()))
+        print("clips:       " + ", ".join(vbench.names()))
+        print("experiments: " + ", ".join(experiment_ids()))
+        return 0
+
+    if args.command == "encode":
+        report = characterize(
+            args.codec, args.video, crf=args.crf, preset=args.preset,
+            num_frames=args.frames,
+        )
+        print(format_perf_report(report))
+        return 0
+
+    if args.command == "experiment":
+        print(format_result(run_experiment(args.id)))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

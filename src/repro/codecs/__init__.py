@@ -1,0 +1,125 @@
+"""Encoder models for the five codecs the paper studies.
+
+Use :func:`create_encoder` to instantiate an encoder by its paper name::
+
+    encoder = create_encoder("svt-av1", crf=40, preset=6)
+    result = encoder.encode(video)
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError
+from .av1 import LIBAOM_SPEC, SVT_AV1_SPEC, LibaomEncoder, SvtAv1Encoder
+from .base import (
+    CodecSpec,
+    EncodeResult,
+    Encoder,
+    EncoderConfig,
+    FrameStats,
+    PresetProfile,
+    TaskRecord,
+)
+from .blocks import (
+    AV1_PARTITIONS,
+    VP9_PARTITIONS,
+    BlockRect,
+    PartitionType,
+    legal_partitions,
+    sub_blocks,
+    superblock_grid,
+)
+from .h264 import X264_SPEC, X264Encoder
+from .h265 import X265_SPEC, X265Encoder
+from .motion import MotionVector, SearchResult
+from .pipeline import PipelineEncoder
+from .predict import AV1_MODES, H264_MODES, H265_MODES, VP9_MODES, IntraMode
+from .quant import Quantizer, crf_to_qindex, qindex_to_step, rd_lambda
+from .vp9 import LIBVPX_VP9_SPEC, LibvpxVp9Encoder
+
+#: Encoder registry keyed by the names the paper uses.
+ENCODERS: dict[str, type[PipelineEncoder]] = {
+    "svt-av1": SvtAv1Encoder,
+    "libaom": LibaomEncoder,
+    "libvpx-vp9": LibvpxVp9Encoder,
+    "x264": X264Encoder,
+    "x265": X265Encoder,
+}
+
+#: Codec specs by encoder name.
+SPECS: dict[str, CodecSpec] = {
+    "svt-av1": SVT_AV1_SPEC,
+    "libaom": LIBAOM_SPEC,
+    "libvpx-vp9": LIBVPX_VP9_SPEC,
+    "x264": X264_SPEC,
+    "x265": X265_SPEC,
+}
+
+
+def encoder_names() -> list[str]:
+    """All registered encoder names, in the paper's customary order."""
+    return list(ENCODERS)
+
+
+def create_encoder(
+    name: str,
+    crf: float,
+    preset: int,
+    threads: int = 1,
+    keyframe_interval: int = 0,
+) -> PipelineEncoder:
+    """Instantiate an encoder model by its paper name."""
+    try:
+        cls = ENCODERS[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown encoder {name!r}; known: {', '.join(ENCODERS)}"
+        ) from None
+    config = EncoderConfig(
+        crf=crf, preset=preset, threads=threads,
+        keyframe_interval=keyframe_interval,
+    )
+    return cls(config)
+
+
+__all__ = [
+    "AV1_MODES",
+    "AV1_PARTITIONS",
+    "BlockRect",
+    "CodecSpec",
+    "ENCODERS",
+    "EncodeResult",
+    "Encoder",
+    "EncoderConfig",
+    "FrameStats",
+    "H264_MODES",
+    "H265_MODES",
+    "IntraMode",
+    "LIBAOM_SPEC",
+    "LIBVPX_VP9_SPEC",
+    "LibaomEncoder",
+    "LibvpxVp9Encoder",
+    "MotionVector",
+    "PartitionType",
+    "PipelineEncoder",
+    "PresetProfile",
+    "Quantizer",
+    "SPECS",
+    "SVT_AV1_SPEC",
+    "SearchResult",
+    "SvtAv1Encoder",
+    "TaskRecord",
+    "VP9_MODES",
+    "VP9_PARTITIONS",
+    "X264Encoder",
+    "X265Encoder",
+    "X264_SPEC",
+    "X265_SPEC",
+    "create_encoder",
+    "crf_to_qindex",
+    "encoder_names",
+    "legal_partitions",
+    "qindex_to_step",
+    "rd_lambda",
+    "sub_blocks",
+    "superblock_grid",
+]

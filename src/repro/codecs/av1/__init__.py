@@ -1,0 +1,211 @@
+"""AV1 encoder models: SVT-AV1 and libaom.
+
+AV1's coding tools are the paper's explanation for its runtime: 10
+partition shapes per block (vs VP9's 4) and the largest intra-mode set
+of the studied codecs.  Both AV1 encoders share that search *space*;
+they differ in how aggressively their presets prune it — SVT-AV1's
+design centres on early termination and staged decision lists (the
+"speed features" of Kossentini et al.), while libaom at comparable
+preset numbers retains more exhaustive decisions.
+
+Preset convention: 0–8, higher is faster (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from ..base import CodecSpec, Encoder, EncoderConfig, PresetProfile
+from ..blocks import AV1_PARTITIONS, PartitionType, VP9_PARTITIONS
+from ..pipeline import PipelineEncoder
+from ..predict import AV1_MODES
+
+_REDUCED_PARTITIONS = VP9_PARTITIONS + (
+    PartitionType.HORZ_4,
+    PartitionType.VERT_4,
+)
+
+#: SVT-AV1 preset anchors, keyed by normalised speed level (0 = slowest).
+_SVT_PRESETS = {
+    0: PresetProfile(
+        partition_vocabulary=AV1_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=13,
+        motion_strategy="full",
+        search_range=16,
+        subpel_depth=3,
+        rd_candidates=3,
+        early_exit_scale=0.0,
+        reference_frames=3,
+        inter_mode_candidates=4,
+        tx_search_depth=3,
+        interp_filters=3,
+        tx_types=4,
+        compound_modes=2,
+        intra_edge_filter=True,
+    ),
+    2: PresetProfile(
+        partition_vocabulary=AV1_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=13,
+        motion_strategy="full",
+        search_range=12,
+        subpel_depth=3,
+        rd_candidates=2,
+        early_exit_scale=1.5,
+        reference_frames=3,
+        inter_mode_candidates=4,
+        tx_search_depth=2,
+        interp_filters=3,
+        tx_types=3,
+        compound_modes=2,
+        intra_edge_filter=True,
+    ),
+    4: PresetProfile(
+        partition_vocabulary=AV1_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=10,
+        motion_strategy="diamond",
+        search_range=16,
+        subpel_depth=2,
+        rd_candidates=1,
+        early_exit_scale=3.5,
+        reference_frames=2,
+        inter_mode_candidates=3,
+        tx_search_depth=2,
+        interp_filters=2,
+        tx_types=2,
+        compound_modes=1,
+        intra_edge_filter=True,
+    ),
+    6: PresetProfile(
+        partition_vocabulary=_REDUCED_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=6,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=1,
+        rd_candidates=1,
+        early_exit_scale=5.0,
+        reference_frames=1,
+        inter_mode_candidates=2,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+    8: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=3,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=0,
+        rd_candidates=1,
+        early_exit_scale=6.0,
+        reference_frames=1,
+        inter_mode_candidates=1,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+}
+
+SVT_AV1_SPEC = CodecSpec(
+    name="svt-av1",
+    family="av1",
+    crf_range=63,
+    preset_count=9,
+    preset_higher_is_faster=True,
+    superblock=32,
+    min_block=8,
+    intra_modes=AV1_MODES,
+    presets=_SVT_PRESETS,
+    interp_taps=8,
+    bitstream_efficiency=0.82,
+)
+
+#: libaom anchors: same tools, less aggressive pruning at equal preset.
+_LIBAOM_PRESETS = {
+    0: PresetProfile(
+        partition_vocabulary=AV1_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=13,
+        motion_strategy="full",
+        search_range=16,
+        subpel_depth=3,
+        rd_candidates=3,
+        early_exit_scale=0.0,
+        reference_frames=3,
+        inter_mode_candidates=4,
+        tx_search_depth=3,
+        interp_filters=3,
+        tx_types=4,
+        compound_modes=2,
+        intra_edge_filter=True,
+    ),
+    4: PresetProfile(
+        partition_vocabulary=AV1_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=13,
+        motion_strategy="diamond",
+        search_range=16,
+        subpel_depth=2,
+        rd_candidates=2,
+        early_exit_scale=2.5,
+        reference_frames=3,
+        inter_mode_candidates=4,
+        tx_search_depth=2,
+        interp_filters=3,
+        tx_types=3,
+        compound_modes=2,
+        intra_edge_filter=True,
+    ),
+    8: PresetProfile(
+        partition_vocabulary=_REDUCED_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=5,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=1,
+        rd_candidates=1,
+        early_exit_scale=8.0,
+        reference_frames=2,
+        inter_mode_candidates=2,
+        tx_search_depth=1,
+        interp_filters=2,
+        tx_types=2,
+        compound_modes=1,
+    ),
+}
+
+LIBAOM_SPEC = CodecSpec(
+    name="libaom",
+    family="av1",
+    crf_range=63,
+    preset_count=9,
+    preset_higher_is_faster=True,
+    superblock=32,
+    min_block=8,
+    intra_modes=AV1_MODES,
+    presets=_LIBAOM_PRESETS,
+    interp_taps=8,
+    bitstream_efficiency=0.82,
+)
+
+
+class SvtAv1Encoder(PipelineEncoder):
+    """SVT-AV1 model (the paper's primary subject)."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        super().__init__(SVT_AV1_SPEC, config)
+
+
+class LibaomEncoder(PipelineEncoder):
+    """libaom (AOM reference encoder) model."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        super().__init__(LIBAOM_SPEC, config)
+
+
+__all__ = [
+    "LIBAOM_SPEC",
+    "LibaomEncoder",
+    "SVT_AV1_SPEC",
+    "SvtAv1Encoder",
+]

@@ -1,0 +1,289 @@
+"""Encoder abstractions: codec specs, speed presets, configs, results.
+
+A *codec spec* describes the search space a codec's standard allows
+(partition vocabulary, intra-mode set, superblock geometry); a *preset
+profile* describes how much of that space a given speed preset actually
+explores.  The generic RD-search pipeline
+(:mod:`repro.codecs.pipeline`) is driven entirely by these two tables,
+so the runtime differences the paper measures between encoders emerge
+from the declared search spaces, not from per-codec special cases.
+
+Preset direction conventions follow the paper's §3.3: AV1-family
+encoders (SVT-AV1, libaom, libvpx-vp9) number presets 0–8 with *higher
+= faster*; x264/x265 number presets 0–9 with *higher = slower*.  The
+:meth:`CodecSpec.profile` accessor normalises both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ..errors import CodecError
+from ..trace.instrument import Instrumenter
+from ..video.frame import Video
+from ..video.metrics import bitrate_kbps
+from .blocks import PartitionType
+from .predict import IntraMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+
+@dataclass(frozen=True)
+class PresetProfile:
+    """Search-effort knobs for one speed preset.
+
+    Parameters
+    ----------
+    partition_vocabulary:
+        Partition shapes the RD search may evaluate.
+    max_partition_depth:
+        Recursion depth below the superblock (0 = superblock only).
+    intra_mode_count:
+        How many modes from the codec's ordered list are tried.
+    motion_strategy:
+        ``"full"`` (exhaustive window) or ``"diamond"``.
+    search_range:
+        Integer-pel motion search radius.
+    subpel_depth:
+        Sub-pel refinement depth (0 = integer-pel only, 3 = eighth-pel).
+    rd_candidates:
+        How many leading candidates get the full transform-quantise RD
+        evaluation (the rest are judged on SATD alone).
+    early_exit_scale:
+        Multiplier on the early-termination threshold; larger values
+        terminate the search sooner (fast presets).
+    reference_frames:
+        Reference frames the NEWMV search covers (AV1 searches several;
+        x264's fast presets stick to one).
+    inter_mode_candidates:
+        Inter prediction candidates RD-evaluated per block (skip +
+        NEAREST/NEAR/GLOBAL-style reference-MV modes + NEWMV).
+    tx_search_depth:
+        Transform sizes evaluated per residual (AV1's TX-size search).
+    interp_filters:
+        Switchable motion-compensation filters evaluated (AV1/VP9: up
+        to 3; H.264/HEVC have a fixed filter).
+    """
+
+    partition_vocabulary: tuple[PartitionType, ...]
+    max_partition_depth: int
+    intra_mode_count: int
+    motion_strategy: str
+    search_range: int
+    subpel_depth: int
+    rd_candidates: int
+    early_exit_scale: float
+    reference_frames: int = 1
+    inter_mode_candidates: int = 2
+    tx_search_depth: int = 1
+    interp_filters: int = 1
+    tx_types: int = 1
+    compound_modes: int = 0
+    intra_edge_filter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.motion_strategy not in ("full", "diamond"):
+            raise CodecError(f"unknown motion strategy {self.motion_strategy!r}")
+        if self.max_partition_depth < 0:
+            raise CodecError("max_partition_depth must be >= 0")
+        if self.intra_mode_count < 1:
+            raise CodecError("at least one intra mode is required")
+        if self.search_range < 1:
+            raise CodecError("search_range must be >= 1")
+        if not 0 <= self.subpel_depth <= 3:
+            raise CodecError("subpel_depth must be in [0, 3]")
+        if self.rd_candidates < 1:
+            raise CodecError("rd_candidates must be >= 1")
+        if self.early_exit_scale < 0:
+            raise CodecError("early_exit_scale must be >= 0")
+        if self.reference_frames < 1:
+            raise CodecError("reference_frames must be >= 1")
+        if self.inter_mode_candidates < 1:
+            raise CodecError("inter_mode_candidates must be >= 1")
+        if self.tx_search_depth < 1:
+            raise CodecError("tx_search_depth must be >= 1")
+        if not 1 <= self.interp_filters <= 3:
+            raise CodecError("interp_filters must be in [1, 3]")
+        if not 1 <= self.tx_types <= 4:
+            raise CodecError("tx_types must be in [1, 4]")
+        if not 0 <= self.compound_modes <= 2:
+            raise CodecError("compound_modes must be in [0, 2]")
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Immutable description of one codec's coding tools and presets.
+
+    Parameters
+    ----------
+    name:
+        Encoder name as used by the paper (e.g. ``"svt-av1"``).
+    family:
+        Codec family (``"av1"``, ``"vp9"``, ``"h264"``, ``"h265"``).
+    crf_range:
+        Maximum CRF value (63 for AV1/VP9 family, 51 for x264/x265).
+    preset_count:
+        Number of speed presets (9 or 10).
+    preset_higher_is_faster:
+        Preset direction (True for the AV1/VP9 family).
+    superblock:
+        Superblock / CTU / macroblock size.
+    min_block:
+        Smallest coding block.
+    intra_modes:
+        Ordered mode list (search priority order).
+    presets:
+        Mapping from *normalised* speed level (0 = slowest) to profile.
+    interp_taps:
+        Motion-compensation filter length (8 for AV1/VP9/HEVC luma, 6
+        for H.264); scales the per-pixel interpolation cost.
+    bitstream_efficiency:
+        Bits multiplier modelling coding-tool gains our simplified
+        syntax layer does not capture (multi-symbol CDF adaptation,
+        CDEF/loop restoration, MV-prediction sophistication).  This is
+        what separates the codecs' rate-at-equal-quality curves in the
+        BD-rate experiment, as documented in DESIGN.md §2.
+    """
+
+    name: str
+    family: str
+    crf_range: int
+    preset_count: int
+    preset_higher_is_faster: bool
+    superblock: int
+    min_block: int
+    intra_modes: tuple[IntraMode, ...]
+    presets: Mapping[int, PresetProfile]
+    interp_taps: int = 8
+    bitstream_efficiency: float = 1.0
+
+    def normalise_preset(self, preset: int) -> int:
+        """Map a user-facing preset number to a 0-=-slowest level."""
+        if not 0 <= preset < self.preset_count:
+            raise CodecError(
+                f"{self.name}: preset {preset} outside [0, {self.preset_count - 1}]"
+            )
+        return preset if self.preset_higher_is_faster else (
+            self.preset_count - 1 - preset
+        )
+
+    def profile(self, preset: int) -> PresetProfile:
+        """Preset profile for a user-facing preset number.
+
+        Speed levels without an explicit profile fall back to the
+        nearest slower defined level (codecs define anchors, not all
+        levels).
+        """
+        level = self.normalise_preset(preset)
+        defined = sorted(self.presets)
+        chosen = defined[0]
+        for candidate in defined:
+            if candidate <= level:
+                chosen = candidate
+        return self.presets[chosen]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """User-facing encode parameters."""
+
+    crf: float
+    preset: int
+    threads: int = 1
+    keyframe_interval: int = 0  # 0 = first frame only
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise CodecError("threads must be >= 1")
+        if self.crf < 0:
+            raise CodecError("CRF must be non-negative")
+
+
+@dataclass
+class FrameStats:
+    """Per-frame encode outcome."""
+
+    index: int
+    frame_type: str
+    bits: float
+    psnr_db: float
+    instructions: float
+
+
+@dataclass
+class TaskRecord:
+    """Work attributable to one schedulable unit of the encode.
+
+    The thread-scalability models (:mod:`repro.parallel`) replay these
+    as task durations; ``kind`` distinguishes parallelisable superblock
+    work from serial per-frame stages.
+    """
+
+    frame: int
+    kind: str  # "superblock" | "entropy" | "filter" | "admin"
+    index: int
+    instructions: float
+    row: int = 0
+    col: int = 0
+
+
+@dataclass
+class EncodeResult:
+    """Everything a single instrumented encode produced."""
+
+    codec: str
+    config: EncoderConfig
+    video_name: str
+    width: int
+    height: int
+    num_frames: int
+    fps: float
+    total_bits: float
+    psnr_db: float
+    reconstructed: Video
+    instrumenter: Instrumenter
+    frame_stats: list[FrameStats] = field(default_factory=list)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def bitrate_kbps(self) -> float:
+        """Proxy-resolution bitrate in kbps."""
+        return bitrate_kbps(int(self.total_bits), self.num_frames, self.fps)
+
+    @property
+    def total_instructions(self) -> float:
+        """Dynamic instructions charged by the instrumentation layer."""
+        return self.instrumenter.total_instructions
+
+
+class Encoder(abc.ABC):
+    """Abstract encoder: a codec spec bound to a configuration."""
+
+    def __init__(self, spec: CodecSpec, config: EncoderConfig) -> None:
+        if config.crf > spec.crf_range:
+            raise CodecError(
+                f"{spec.name}: CRF {config.crf} outside [0, {spec.crf_range}]"
+            )
+        spec.normalise_preset(config.preset)  # validates
+        self.spec = spec
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        """Encoder name (paper convention)."""
+        return self.spec.name
+
+    @abc.abstractmethod
+    def encode(
+        self, video: Video, instrumenter: Instrumenter | None = None
+    ) -> EncodeResult:
+        """Encode ``video``, charging all work to ``instrumenter``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(crf={self.config.crf}, "
+            f"preset={self.config.preset})"
+        )

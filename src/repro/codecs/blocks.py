@@ -1,0 +1,199 @@
+"""Block geometry and partition shapes.
+
+Modern codecs code each frame as a grid of *superblocks* (AV1/VP9
+terminology; "CTU" in HEVC, "macroblock" in H.264) that are recursively
+split into smaller coding blocks.  The paper's central explanation for
+AV1's runtime — it "allows 10 different ways to partition each block
+... whereas its predecessor VP9 only allows for 4" — lives here: each
+codec model declares which :class:`PartitionType` values its RD search
+may evaluate at each tree level.
+
+Partition shapes follow the AV1 definitions: besides NONE / HORZ /
+VERT / SPLIT (the VP9 set), AV1 adds the T-shaped HORZ_A/B and
+VERT_A/B partitions and the 4-way strip partitions HORZ_4 / VERT_4.
+Only SPLIT recurses; all other partitions terminate their subtree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CodecError
+
+
+class PartitionType(enum.Enum):
+    """How one square block is divided into coding sub-blocks."""
+
+    NONE = "none"
+    HORZ = "horz"
+    VERT = "vert"
+    SPLIT = "split"
+    HORZ_A = "horz_a"
+    HORZ_B = "horz_b"
+    VERT_A = "vert_a"
+    VERT_B = "vert_b"
+    HORZ_4 = "horz_4"
+    VERT_4 = "vert_4"
+
+
+#: VP9's partition vocabulary (4 shapes).
+VP9_PARTITIONS: tuple[PartitionType, ...] = (
+    PartitionType.NONE,
+    PartitionType.HORZ,
+    PartitionType.VERT,
+    PartitionType.SPLIT,
+)
+
+#: AV1's full partition vocabulary (10 shapes).
+AV1_PARTITIONS: tuple[PartitionType, ...] = VP9_PARTITIONS + (
+    PartitionType.HORZ_A,
+    PartitionType.HORZ_B,
+    PartitionType.VERT_A,
+    PartitionType.VERT_B,
+    PartitionType.HORZ_4,
+    PartitionType.VERT_4,
+)
+
+
+@dataclass(frozen=True)
+class BlockRect:
+    """A coding block within a frame: ``(row, col)`` origin plus size."""
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    @property
+    def pixels(self) -> int:
+        """Number of luma samples covered."""
+        return self.height * self.width
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise CodecError(f"degenerate block {self!r}")
+
+
+def sub_blocks(rect: BlockRect, partition: PartitionType) -> list[BlockRect]:
+    """Decompose a square block according to ``partition``.
+
+    Raises :class:`~repro.errors.CodecError` when the partition is not
+    representable at the block's size (e.g. 4-way strips of a block
+    smaller than 16, or any split of an already-minimal block).
+    """
+    if rect.height != rect.width:
+        raise CodecError(
+            f"partitions apply to square blocks, got {rect.width}x{rect.height}"
+        )
+    size = rect.width
+    half = size // 2
+    quarter = size // 4
+    r, c = rect.row, rect.col
+
+    if partition is PartitionType.NONE:
+        return [rect]
+    if size < 8:
+        raise CodecError(f"cannot partition a {size}x{size} block")
+    if partition is PartitionType.HORZ:
+        return [
+            BlockRect(r, c, half, size),
+            BlockRect(r + half, c, half, size),
+        ]
+    if partition is PartitionType.VERT:
+        return [
+            BlockRect(r, c, size, half),
+            BlockRect(r, c + half, size, half),
+        ]
+    if partition is PartitionType.SPLIT:
+        return [
+            BlockRect(r, c, half, half),
+            BlockRect(r, c + half, half, half),
+            BlockRect(r + half, c, half, half),
+            BlockRect(r + half, c + half, half, half),
+        ]
+    if partition is PartitionType.HORZ_A:
+        return [
+            BlockRect(r, c, half, half),
+            BlockRect(r, c + half, half, half),
+            BlockRect(r + half, c, half, size),
+        ]
+    if partition is PartitionType.HORZ_B:
+        return [
+            BlockRect(r, c, half, size),
+            BlockRect(r + half, c, half, half),
+            BlockRect(r + half, c + half, half, half),
+        ]
+    if partition is PartitionType.VERT_A:
+        return [
+            BlockRect(r, c, half, half),
+            BlockRect(r + half, c, half, half),
+            BlockRect(r, c + half, size, half),
+        ]
+    if partition is PartitionType.VERT_B:
+        return [
+            BlockRect(r, c, size, half),
+            BlockRect(r, c + half, half, half),
+            BlockRect(r + half, c + half, half, half),
+        ]
+    if partition in (PartitionType.HORZ_4, PartitionType.VERT_4):
+        if quarter < 4:
+            raise CodecError(
+                f"4-way partition needs blocks >= 16, got {size}x{size}"
+            )
+        if partition is PartitionType.HORZ_4:
+            return [
+                BlockRect(r + i * quarter, c, quarter, size) for i in range(4)
+            ]
+        return [BlockRect(r, c + i * quarter, size, quarter) for i in range(4)]
+    raise CodecError(f"unhandled partition {partition}")  # pragma: no cover
+
+
+def legal_partitions(
+    size: int,
+    vocabulary: tuple[PartitionType, ...],
+    min_block: int,
+) -> list[PartitionType]:
+    """Partitions from ``vocabulary`` that are legal at ``size``.
+
+    ``min_block`` is the smallest coding block the codec allows; any
+    partition producing a dimension below it is excluded.  NONE is
+    always legal.
+    """
+    legal = []
+    for part in vocabulary:
+        if part is PartitionType.NONE:
+            legal.append(part)
+            continue
+        if size // 2 < min_block:
+            continue
+        if part in (PartitionType.HORZ_4, PartitionType.VERT_4):
+            if size // 4 < min_block or size < 16:
+                continue
+        legal.append(part)
+    return legal
+
+
+def superblock_grid(
+    frame_width: int, frame_height: int, superblock: int
+) -> list[BlockRect]:
+    """Raster-order superblock rectangles covering a frame.
+
+    Edge superblocks are clipped to the frame (encoders pad the frame,
+    but our plane accessor replicates edges, so clipped rectangles keep
+    pixel counts honest).
+    """
+    if superblock <= 0 or superblock & (superblock - 1):
+        raise CodecError(f"superblock size must be a power of two, got {superblock}")
+    grid = []
+    for row in range(0, frame_height, superblock):
+        for col in range(0, frame_width, superblock):
+            grid.append(
+                BlockRect(
+                    row,
+                    col,
+                    min(superblock, frame_height - row),
+                    min(superblock, frame_width - col),
+                )
+            )
+    return grid

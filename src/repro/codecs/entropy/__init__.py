@@ -1,0 +1,30 @@
+"""Entropy coding: range coder, adaptive contexts, coefficient coding."""
+
+from .arithmetic import BoolDecoder, BoolEncoder
+from .cdf import (
+    AdaptiveBit,
+    ContextSet,
+    bit_cost,
+    exp_golomb_bits,
+    signed_exp_golomb_bits,
+)
+from .coefcode import (
+    CoefficientCoder,
+    fast_rate_estimate,
+    scan_levels,
+    zigzag_order,
+)
+
+__all__ = [
+    "AdaptiveBit",
+    "BoolDecoder",
+    "BoolEncoder",
+    "CoefficientCoder",
+    "ContextSet",
+    "bit_cost",
+    "exp_golomb_bits",
+    "fast_rate_estimate",
+    "scan_levels",
+    "signed_exp_golomb_bits",
+    "zigzag_order",
+]

@@ -1,0 +1,112 @@
+"""Adaptive probability contexts and bit-cost estimation.
+
+Codecs keep per-syntax-element probability models that adapt as symbols
+are coded (AV1 adapts CDFs per symbol; VP8/VP9 adapt per frame).  The
+:class:`AdaptiveBit` context here adapts with the standard exponential
+move-to-target rule.
+
+During RD search an encoder cannot afford to arithmetic-code every
+candidate, so it *estimates* rate from the model probabilities; the
+module precomputes the ``-log2(p)`` table every real encoder carries
+for that purpose.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import CodecError
+
+#: cost_table[p] = bits to code a ZERO bit at probability p (P(0)=p/256).
+_COST_ZERO = np.array(
+    [0.0] + [-math.log2(p / 256.0) for p in range(1, 256)], dtype=np.float64
+)
+#: Bits to code a ONE bit at probability p.
+_COST_ONE = np.array(
+    [0.0] + [-math.log2(1.0 - p / 256.0) for p in range(1, 256)],
+    dtype=np.float64,
+)
+
+
+def bit_cost(bit: int, prob: int) -> float:
+    """Bits to code ``bit`` at ``P(0) = prob/256``."""
+    if not 1 <= prob <= 255:
+        raise CodecError(f"probability {prob} outside [1, 255]")
+    return float(_COST_ONE[prob] if bit else _COST_ZERO[prob])
+
+
+class AdaptiveBit:
+    """One adaptive binary probability context.
+
+    Parameters
+    ----------
+    initial:
+        Initial ``P(0)`` in ``[1, 255]``.
+    rate:
+        Adaptation shift; the probability moves ``1/2^rate`` of the way
+        toward the observed symbol each update (AV1 uses 4–5).
+    """
+
+    __slots__ = ("prob", "rate")
+
+    def __init__(self, initial: int = 128, rate: int = 5) -> None:
+        if not 1 <= initial <= 255:
+            raise CodecError(f"initial probability {initial} outside [1, 255]")
+        if not 1 <= rate <= 8:
+            raise CodecError(f"adaptation rate {rate} outside [1, 8]")
+        self.prob = initial
+        self.rate = rate
+
+    def update(self, bit: int) -> None:
+        """Adapt toward the observed ``bit``."""
+        if bit:
+            self.prob -= self.prob >> self.rate
+        else:
+            self.prob += (256 - self.prob) >> self.rate
+        self.prob = min(255, max(1, self.prob))
+
+    def cost(self, bit: int) -> float:
+        """Estimated bits to code ``bit`` in this context right now."""
+        return bit_cost(bit, self.prob)
+
+
+class ContextSet:
+    """A named collection of adaptive bit contexts.
+
+    Contexts are created on first use, mirroring how codecs index large
+    context arrays by (syntax element, neighbourhood state).
+    """
+
+    def __init__(self, rate: int = 5) -> None:
+        self._rate = rate
+        self._contexts: dict[str, AdaptiveBit] = {}
+
+    def get(self, name: str, initial: int = 128) -> AdaptiveBit:
+        """Fetch (or create) the context called ``name``."""
+        ctx = self._contexts.get(name)
+        if ctx is None:
+            ctx = AdaptiveBit(initial=initial, rate=self._rate)
+            self._contexts[name] = ctx
+        return ctx
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def reset(self) -> None:
+        """Drop all adapted state (new keyframe / new sequence)."""
+        self._contexts.clear()
+
+
+def exp_golomb_bits(value: int) -> int:
+    """Bit length of the order-0 exp-Golomb code of ``value`` (>= 0)."""
+    if value < 0:
+        raise CodecError(f"exp-Golomb codes non-negative values, got {value}")
+    return 2 * (value + 1).bit_length() - 1
+
+
+def signed_exp_golomb_bits(value: int) -> int:
+    """Bit length of the signed exp-Golomb mapping of ``value``."""
+    mapped = 2 * value - 1 if value > 0 else -2 * value
+    return exp_golomb_bits(mapped)

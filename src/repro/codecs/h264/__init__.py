@@ -1,0 +1,103 @@
+"""H.264/AVC encoder model (x264).
+
+x264 is the speed baseline in every figure of the paper: a flat 16x16
+macroblock grid (no deep recursion), four macroblock partition shapes,
+and a 4-mode intra set.  Its search space per block is a small fraction
+of AV1's, which — not microarchitectural efficiency — is why it is an
+order of magnitude faster.
+
+Preset convention: 0–9, **higher is slower** (paper §3.3 notes x264 and
+x265 number presets in the opposite direction from the AV1 family;
+x264's named ladder runs ultrafast → placebo).
+"""
+
+from __future__ import annotations
+
+from ..base import CodecSpec, EncoderConfig, PresetProfile
+from ..blocks import VP9_PARTITIONS
+from ..pipeline import PipelineEncoder
+from ..predict import H264_MODES
+
+#: Anchors keyed by normalised speed level (0 = slowest = "placebo").
+_PRESETS = {
+    0: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=4,
+        motion_strategy="full",
+        search_range=16,
+        subpel_depth=3,
+        rd_candidates=2,
+        early_exit_scale=1.0,
+        reference_frames=3,
+        inter_mode_candidates=2,
+        tx_search_depth=2,
+        interp_filters=1,
+    ),
+    3: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=4,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=2,
+        rd_candidates=1,
+        early_exit_scale=3.5,
+        reference_frames=2,
+        inter_mode_candidates=2,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+    6: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=3,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=1,
+        rd_candidates=1,
+        early_exit_scale=5.0,
+        reference_frames=1,
+        inter_mode_candidates=1,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+    9: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=2,
+        motion_strategy="diamond",
+        search_range=4,
+        subpel_depth=0,
+        rd_candidates=1,
+        early_exit_scale=10.0,
+        reference_frames=1,
+        inter_mode_candidates=1,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+}
+
+X264_SPEC = CodecSpec(
+    name="x264",
+    family="h264",
+    crf_range=51,
+    preset_count=10,
+    preset_higher_is_faster=False,
+    superblock=16,
+    min_block=8,
+    intra_modes=H264_MODES,
+    presets=_PRESETS,
+    interp_taps=6,
+    bitstream_efficiency=1.0,
+)
+
+
+class X264Encoder(PipelineEncoder):
+    """x264 model."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        super().__init__(X264_SPEC, config)
+
+
+__all__ = ["X264_SPEC", "X264Encoder"]

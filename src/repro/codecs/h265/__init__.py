@@ -1,0 +1,103 @@
+"""H.265/HEVC encoder model (x265).
+
+HEVC sits between H.264 and AV1 in coding-tool richness: a recursive
+CTU quadtree (modelled at 32x32 with NONE/HORZ/VERT/SPLIT — the
+2Nx2N / 2NxN / Nx2N / NxN prediction partitions) and an angular
+intra set larger than H.264's.  Its RD search is deliberately less
+pruned than x264's, which makes it several times slower — and its
+thread model (wavefront with a dominant frame thread, see
+:mod:`repro.parallel.models`) is why the paper finds it the *least*
+scalable encoder.
+
+Preset convention: 0–9, **higher is slower** (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from ..base import CodecSpec, EncoderConfig, PresetProfile
+from ..blocks import VP9_PARTITIONS
+from ..pipeline import PipelineEncoder
+from ..predict import H265_MODES
+
+_PRESETS = {
+    0: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=8,
+        motion_strategy="full",
+        search_range=16,
+        subpel_depth=3,
+        rd_candidates=3,
+        early_exit_scale=0.5,
+        reference_frames=3,
+        inter_mode_candidates=3,
+        tx_search_depth=3,
+        interp_filters=1,
+    ),
+    3: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=8,
+        motion_strategy="diamond",
+        search_range=12,
+        subpel_depth=2,
+        rd_candidates=2,
+        early_exit_scale=2.0,
+        reference_frames=2,
+        inter_mode_candidates=2,
+        tx_search_depth=2,
+        interp_filters=1,
+    ),
+    6: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=6,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=2,
+        rd_candidates=1,
+        early_exit_scale=4.0,
+        reference_frames=1,
+        inter_mode_candidates=2,
+        tx_search_depth=2,
+        interp_filters=1,
+    ),
+    9: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=3,
+        motion_strategy="diamond",
+        search_range=4,
+        subpel_depth=1,
+        rd_candidates=1,
+        early_exit_scale=8.0,
+        reference_frames=1,
+        inter_mode_candidates=1,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+}
+
+X265_SPEC = CodecSpec(
+    name="x265",
+    family="h265",
+    crf_range=51,
+    preset_count=10,
+    preset_higher_is_faster=False,
+    superblock=32,
+    min_block=8,
+    intra_modes=H265_MODES,
+    presets=_PRESETS,
+    interp_taps=8,
+    bitstream_efficiency=0.88,
+)
+
+
+class X265Encoder(PipelineEncoder):
+    """x265 model."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        super().__init__(X265_SPEC, config)
+
+
+__all__ = ["X265_SPEC", "X265Encoder"]

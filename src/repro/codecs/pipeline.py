@@ -1,0 +1,1136 @@
+"""The generic instrumented encode pipeline.
+
+One RD-search engine drives all five encoder models.  A codec's
+:class:`~repro.codecs.base.CodecSpec` declares *what* may be searched
+(partition vocabulary, mode set, superblock geometry) and the active
+:class:`~repro.codecs.base.PresetProfile` declares *how much* of it is
+searched; the pipeline then actually performs the search on real pixel
+data — motion estimation over multiple reference frames, inter-mode
+candidate lists, intra prediction, transform-size search with
+transform/quantise/reconstruct round trips, interpolation-filter
+search, and adaptive arithmetic coding of the chosen syntax — charging
+every kernel invocation, decision branch and memory touch to the
+instrumentation layer.
+
+This is where the paper's headline result comes from mechanically: an
+AV1-family profile evaluates more partition shapes, more reference
+frames, more inter-mode candidates, more transform configurations and
+more interpolation filters per block than an H.264-family profile, so
+it charges proportionally more instructions for the same frame, while
+per-candidate microarchitectural behaviour stays similar.
+
+Early termination — the mechanism behind the paper's CRF trends — is
+driven by *prediction residual energy versus the quantiser step*: at
+high CRF most residuals vanish under quantisation, so candidates are
+indistinguishable and the search exits after the first acceptable one;
+at low CRF almost every refinement still pays for itself (DESIGN.md
+§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace.instrument import Instrumenter, PlaneHandle
+from ..video.frame import Frame, Video
+from ..video.metrics import frame_psnr, sequence_psnr
+from .base import (
+    CodecSpec,
+    Encoder,
+    EncodeResult,
+    EncoderConfig,
+    FrameStats,
+    TaskRecord,
+)
+from .blocks import BlockRect, PartitionType, legal_partitions, sub_blocks
+from .entropy.arithmetic import BoolEncoder
+from .entropy.cdf import ContextSet, signed_exp_golomb_bits
+from .entropy.coefcode import CoefficientCoder, fast_rate_estimate_batch
+from .motion import (
+    ZERO_MV,
+    MotionVector,
+    SearchResult,
+    diamond_search,
+    full_search,
+    interpolate,
+    mv_bits,
+    subpel_refine,
+)
+from .predict import IntraMode, extend_neighbours, predict
+from .quant import Quantizer, crf_to_qindex, qindex_to_step, rd_lambda
+from .transform import (
+    TRANSFORM_SIZES,
+    TX_TYPES,
+    forward_tx_batch,
+    inverse_tx_batch,
+    satd,
+    tile_block,
+    untile_block,
+)
+
+#: Flat rate estimates (bits) for non-coefficient syntax during search.
+_PARTITION_SIGNAL_BITS = 2.5
+_MODE_SIGNAL_BITS = 3.5
+_SKIP_SIGNAL_BITS = 1.0
+
+#: How many reconstructed frames are kept as references.
+_MAX_REF_FRAMES = 3
+
+
+@dataclass
+class TransformChoice:
+    """Outcome of the transform-size/type search for one residual block."""
+
+    tx_size: int
+    tx_type: str
+    sse: float
+    bits: float
+    recon_residual: np.ndarray
+    levels: np.ndarray  # (n_tiles, tx, tx) quantised levels
+
+
+@dataclass
+class LeafPlan:
+    """Chosen coding for one leaf block."""
+
+    rect: BlockRect
+    is_inter: bool
+    mode: IntraMode | None
+    mv: MotionVector
+    mv_predictor: MotionVector
+    ref_index: int
+    interp_filter: int
+    skip: bool
+    cost: float
+    pred_error: float = 0.0
+
+
+@dataclass
+class PartitionPlan:
+    """Chosen partitioning of a square block."""
+
+    rect: BlockRect
+    partition: PartitionType
+    children: list["PartitionPlan | LeafPlan"] = field(default_factory=list)
+    cost: float = 0.0
+
+
+def _pad_to_multiple(data: np.ndarray, multiple: int) -> np.ndarray:
+    h, w = data.shape
+    ph = (multiple - h % multiple) % multiple
+    pw = (multiple - w % multiple) % multiple
+    if ph or pw:
+        return np.pad(data, ((0, ph), (0, pw)), mode="edge")
+    return data
+
+
+class PipelineEncoder(Encoder):
+    """The shared encode engine; codec modules subclass only to bind a
+    spec (see e.g. :mod:`repro.codecs.av1`)."""
+
+    def encode(
+        self,
+        video: Video,
+        instrumenter: Instrumenter | None = None,
+        footprint_scale: tuple[float, float] = (1.0, 1.0),
+    ) -> EncodeResult:
+        """Encode ``video`` and return the instrumented result.
+
+        ``footprint_scale`` is the (height, width) proxy-to-native
+        ratio; memory touches are scaled by it so the cache simulator
+        sees the original clip's data footprint (DESIGN.md §2).
+        """
+        inst = instrumenter if instrumenter is not None else Instrumenter()
+        run = _EncodeRun(self.spec, self.config, video, inst, footprint_scale)
+        return run.execute()
+
+
+class _EncodeRun:
+    """State for one encode (frames, planes, contexts, statistics)."""
+
+    def __init__(
+        self,
+        spec: CodecSpec,
+        config: EncoderConfig,
+        video: Video,
+        inst: Instrumenter,
+        footprint_scale: tuple[float, float],
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.video = video
+        self.inst = inst
+        self.profile = spec.profile(config.preset)
+
+        qindex = crf_to_qindex(config.crf, spec.crf_range)
+        self.step = qindex_to_step(qindex)
+        self.lam = rd_lambda(self.step)
+        self.quant = Quantizer(step=self.step)
+
+        self.sb = spec.superblock
+        # Per-pixel MC interpolation cost scales with filter length
+        # (baseline kernel cost is calibrated for a 4-tap filter).
+        self.mc_cost = spec.interp_taps / 4.0
+        scale_h, scale_w = footprint_scale
+        self.src_plane: PlaneHandle = inst.register_plane(
+            video.width, scale_h, scale_w
+        )
+        self.ref_planes: list[PlaneHandle] = [
+            inst.register_plane(video.width, scale_h, scale_w)
+            for _ in range(_MAX_REF_FRAMES)
+        ]
+        self.rec_plane: PlaneHandle = inst.register_plane(
+            video.width, scale_h, scale_w
+        )
+
+        self.contexts = ContextSet()
+        self.recon_frames: list[Frame] = []
+        self.frame_stats: list[FrameStats] = []
+        self.tasks: list[TaskRecord] = []
+        self.total_bits = 0.0
+
+        # Per-frame mutable state.
+        self.src: np.ndarray | None = None
+        self.recon: np.ndarray | None = None
+        self.refs: list[np.ndarray] = []  # most recent first
+        self.is_inter_frame = False
+        self.mv_field: dict[tuple[int, int], MotionVector] = {}
+        self.coder: CoefficientCoder | None = None
+        self.bool_encoder: BoolEncoder | None = None
+        self.frame_symbol_count = 0
+        self._leaf_cache: dict[BlockRect, tuple[float, LeafPlan]] = {}
+        self._energy_cache: dict[BlockRect, float] = {}
+        self._chroma_planes: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def execute(self) -> EncodeResult:
+        for frame in self.video:
+            self._encode_frame(frame)
+        recon_video = Video(
+            self.recon_frames, fps=self.video.fps, name=self.video.name
+        )
+        psnr = sequence_psnr(self.video, recon_video)
+        return EncodeResult(
+            codec=self.spec.name,
+            config=self.config,
+            video_name=self.video.name,
+            width=self.video.width,
+            height=self.video.height,
+            num_frames=self.video.num_frames,
+            fps=self.video.fps,
+            total_bits=self.total_bits,
+            psnr_db=psnr,
+            reconstructed=recon_video,
+            instrumenter=self.inst,
+            frame_stats=self.frame_stats,
+            tasks=self.tasks,
+        )
+
+    def _frame_is_key(self, index: int) -> bool:
+        interval = self.config.keyframe_interval
+        if index == 0:
+            return True
+        return interval > 0 and index % interval == 0
+
+    def _encode_frame(self, frame: Frame) -> None:
+        inst = self.inst
+        start_instr = inst.total_instructions
+        self.is_inter_frame = not self._frame_is_key(frame.index)
+        if not self.is_inter_frame:
+            self.contexts.reset()
+            self.mv_field.clear()
+            self.refs.clear()
+
+        self.src = _pad_to_multiple(frame.y.data, self.sb).astype(np.uint8)
+        self.recon = np.full_like(self.src, 128)
+        self.bool_encoder = BoolEncoder()
+        self.coder = CoefficientCoder(self.contexts, self.bool_encoder)
+        self.frame_symbol_count = 0
+        frame_bits = 0.0
+
+        height, width = self.src.shape
+        sb_index = 0
+        for row in range(0, height, self.sb):
+            for col in range(0, width, self.sb):
+                sb_start = inst.total_instructions
+                rect = BlockRect(row, col, self.sb, self.sb)
+                # Leaf evaluations are shared between partition shapes
+                # that produce the same sub-rectangle (e.g. SPLIT's
+                # quadrants and HORZ_A's squares), exactly as real
+                # encoders reuse mode-decision results.
+                self._leaf_cache = {}
+                self._energy_cache = {}
+                with inst.function(f"{self.spec.family}.encode_superblock"):
+                    plan = self._search_partition(rect, depth=0)
+                    frame_bits += self._apply_plan(plan)
+                    frame_bits += self._code_chroma_block(frame, rect)
+                self.tasks.append(
+                    TaskRecord(
+                        frame=frame.index,
+                        kind="superblock",
+                        index=sb_index,
+                        instructions=inst.total_instructions - sb_start,
+                        row=row,
+                        col=col,
+                    )
+                )
+                sb_index += 1
+
+        frame_bits += self._finish_frame(frame)
+        frame_bits *= self.spec.bitstream_efficiency
+        self.total_bits += frame_bits
+
+        crop = self.recon[: frame.height, : frame.width]
+        recon_frame = Frame(
+            crop.copy(),
+            self._chroma_recon("u").copy(),
+            self._chroma_recon("v").copy(),
+            index=frame.index,
+        )
+        self.recon_frames.append(recon_frame)
+        self.frame_stats.append(
+            FrameStats(
+                index=frame.index,
+                frame_type="inter" if self.is_inter_frame else "key",
+                bits=frame_bits,
+                psnr_db=frame_psnr(frame, recon_frame),
+                instructions=inst.total_instructions - start_instr,
+            )
+        )
+        # The reconstruction joins the reference list (most recent first).
+        self.refs.insert(0, self.recon)
+        del self.refs[_MAX_REF_FRAMES:]
+
+    def _finish_frame(self, frame: Frame) -> float:
+        """Loop filter, stream flush and per-frame admin work."""
+        inst = self.inst
+        filter_start = inst.total_instructions
+        with inst.function(f"{self.spec.family}.loop_filter"):
+            self._loop_filter()
+        self.tasks.append(
+            TaskRecord(
+                frame=frame.index,
+                kind="filter",
+                index=0,
+                instructions=inst.total_instructions - filter_start,
+            )
+        )
+        admin_start = inst.total_instructions
+        with inst.function(f"{self.spec.family}.frame_admin"):
+            pixels = self.src.size
+            inst.kernel("frame_admin", pixels)
+            inst.touch(self.src_plane, 0, self.src.shape[0], 0,
+                       self.src.shape[1], write=False)
+        self.tasks.append(
+            TaskRecord(
+                frame=frame.index,
+                kind="admin",
+                index=0,
+                instructions=inst.total_instructions - admin_start,
+            )
+        )
+        # Flush the arithmetic coder; header overhead per frame.
+        stream = self.bool_encoder.finish()
+        entropy_start = inst.total_instructions
+        with inst.function(f"{self.spec.family}.entropy_flush"):
+            inst.kernel("entropy_bin", self.frame_symbol_count)
+        self.tasks.append(
+            TaskRecord(
+                frame=frame.index,
+                kind="entropy",
+                index=0,
+                instructions=inst.total_instructions - entropy_start,
+            )
+        )
+        header_bits = 64.0
+        return len(stream) * 8.0 + header_bits
+
+    # ------------------------------------------------------------------
+    # Partition search
+    # ------------------------------------------------------------------
+    def _cost_cheap(self, cost: float, pixels: int) -> bool:
+        """Lambda-normalised early-exit test.
+
+        A candidate whose RD cost is already below
+        ``early_exit_scale * 0.1 * lambda`` per pixel cannot be
+        meaningfully improved: its distortion sits at the quantisation
+        floor and its rate is a fraction of a bit per pixel.  Because
+        lambda grows as step^2, the test fires progressively more often
+        as CRF rises — the mechanism behind the paper's falling
+        instruction counts (Fig. 4a).  This is the same shape as x264's
+        early-skip and SVT-AV1's depth-removal heuristics.
+        """
+        return cost < self.profile.early_exit_scale * 0.1 * self.lam * pixels
+
+    def _search_partition(self, rect: BlockRect, depth: int) -> PartitionPlan:
+        inst = self.inst
+        family = self.spec.family
+        none_cost, none_leaf = self._evaluate_leaf(rect)
+        best = PartitionPlan(
+            rect=rect,
+            partition=PartitionType.NONE,
+            children=[none_leaf],
+            cost=none_cost + self.lam * _PARTITION_SIGNAL_BITS,
+        )
+
+        can_split = (
+            depth < self.profile.max_partition_depth
+            and rect.width >= 2 * self.spec.min_block
+        )
+        exit_now = (not can_split) or self._cost_cheap(
+            none_cost, rect.pixels
+        )
+        inst.branch(inst.site(f"{family}.part.exit.d{depth}"), exit_now)
+        if exit_now:
+            return best
+
+        vocabulary = legal_partitions(
+            rect.width, self.profile.partition_vocabulary, self.spec.min_block
+        )
+        for part in vocabulary:
+            if part is PartitionType.NONE:
+                continue
+            children = sub_blocks(rect, part)
+            cost = self.lam * _PARTITION_SIGNAL_BITS
+            plans: list[PartitionPlan | LeafPlan] = []
+            aborted = False
+            for child in children:
+                if (
+                    part is PartitionType.SPLIT
+                    and child.width >= 2 * self.spec.min_block
+                    and depth + 1 < self.profile.max_partition_depth
+                ):
+                    child_plan = self._search_partition(child, depth + 1)
+                    cost += child_plan.cost
+                    plans.append(child_plan)
+                else:
+                    child_cost, child_leaf = self._evaluate_leaf(child)
+                    cost += child_cost
+                    plans.append(child_leaf)
+                if cost >= best.cost:
+                    aborted = True
+                    break
+            inst.kernel("rdo_bookkeep", 1)
+            improved = not aborted and cost < best.cost
+            inst.branch(
+                inst.site(f"{family}.part.{part.value}.improve.d{depth}"),
+                improved,
+            )
+            if improved:
+                best = PartitionPlan(
+                    rect=rect, partition=part, children=plans, cost=cost
+                )
+        return best
+
+    # ------------------------------------------------------------------
+    # Leaf (mode) decision
+    # ------------------------------------------------------------------
+    def _evaluate_leaf(self, rect: BlockRect) -> tuple[float, LeafPlan]:
+        cached = self._leaf_cache.get(rect)
+        if cached is not None:
+            return cached
+        if self.is_inter_frame and self.refs:
+            result = self._evaluate_inter_leaf(rect)
+        else:
+            result = self._evaluate_intra_leaf(rect)
+        self._leaf_cache[rect] = result
+        return result
+
+    def _mode_exit_threshold(self, pixels: int) -> float:
+        """SATD below which further mode candidates are skipped."""
+        return self.profile.early_exit_scale * self.step * pixels * 0.55
+
+    def _src_block(self, rect: BlockRect) -> np.ndarray:
+        return self.src[
+            rect.row : rect.row + rect.height, rect.col : rect.col + rect.width
+        ].astype(np.int32)
+
+    def _source_energy(self, rect: BlockRect) -> float:
+        """Total AC energy of the source block (variance x pixels).
+
+        Candidate search cannot improve a block whose own signal energy
+        sits below the quantisation floor — no matter how noisy the
+        reference is — so early-exit tests bound the prediction error
+        by this reference-independent quantity.
+        """
+        cached = self._energy_cache.get(rect)
+        if cached is None:
+            block = self._src_block(rect)
+            cached = float(block.var()) * rect.pixels
+            self.inst.kernel("variance", rect.pixels)
+            self._energy_cache[rect] = cached
+        return cached
+
+    def _intra_candidates(
+        self, rect: BlockRect, mode_budget: int
+    ) -> list[IntraMode]:
+        """SATD-rank intra modes; returns modes ordered best-first."""
+        inst = self.inst
+        family = self.spec.family
+        src_block = self._src_block(rect)
+        above, left = extend_neighbours(
+            self.recon, rect.row, rect.col, rect.height, rect.width
+        )
+        inst.touch(self.rec_plane, max(rect.row - 1, 0), 1, rect.col, rect.width)
+        inst.touch(self.src_plane, rect.row, rect.height, rect.col, rect.width)
+
+        if self.profile.intra_edge_filter:
+            # AV1's intra edge-filter search: directional modes are also
+            # evaluated against low-passed reference pixels.
+            smooth_above = above.copy()
+            smooth_above[1:-1] = (above[:-2] + 2 * above[1:-1] + above[2:]) / 4.0
+            smooth_left = left.copy()
+            smooth_left[1:-1] = (left[:-2] + 2 * left[1:-1] + left[2:]) / 4.0
+
+        modes = self.spec.intra_modes[:mode_budget]
+        scores: list[tuple[float, int, IntraMode]] = []
+        best_score = float("inf")
+        exit_threshold = self._mode_exit_threshold(rect.pixels)
+        for index, mode in enumerate(modes):
+            pred = predict(mode, above, left, rect.height, rect.width)
+            inst.kernel("intra_pred", rect.pixels)
+            residual = src_block - pred.astype(np.int32)
+            score = satd(residual) + self.lam * _MODE_SIGNAL_BITS
+            inst.kernel("satd", rect.pixels)
+            if self.profile.intra_edge_filter and mode.value.startswith("d"):
+                alt = predict(
+                    mode, smooth_above, smooth_left, rect.height, rect.width
+                )
+                inst.kernel("intra_pred", rect.pixels)
+                alt_score = satd(src_block - alt.astype(np.int32)) + (
+                    self.lam * _MODE_SIGNAL_BITS
+                )
+                inst.kernel("satd", rect.pixels)
+                inst.branch(
+                    inst.site(f"{family}.md.edgefilter.improve"),
+                    alt_score < score,
+                )
+                score = min(score, alt_score)
+            inst.loop(
+                inst.site(f"{family}.satd.rowloop"),
+                trip_count=max(rect.height // 4, 1),
+            )
+            scores.append((score, index, mode))
+            improved = score < best_score
+            inst.branch(
+                inst.site(f"{family}.md.mode{index}.improve"), improved
+            )
+            if improved:
+                best_score = score
+            early = best_score < exit_threshold
+            inst.branch(inst.site(f"{family}.md.mode_exit"), early)
+            if early:
+                break
+        scores.sort(key=lambda entry: entry[0])
+        return [mode for _, _, mode in scores]
+
+    def _evaluate_intra_leaf(self, rect: BlockRect) -> tuple[float, LeafPlan]:
+        inst = self.inst
+        with inst.function(f"{self.spec.family}.intra_mode_decision"):
+            ranked = self._intra_candidates(rect, self.profile.intra_mode_count)
+            best_mode = ranked[0]
+            best_cost = float("inf")
+            best_err = 0.0
+            for index, mode in enumerate(ranked[: self.profile.rd_candidates]):
+                cost, pred_error = self._rd_cost_intra(rect, mode)
+                inst.kernel("rdo_bookkeep", 1)
+                improved = cost < best_cost
+                inst.branch(
+                    inst.site(f"{self.spec.family}.md.rd{index}.improve"),
+                    improved,
+                )
+                if improved:
+                    best_cost = cost
+                    best_mode = mode
+                    best_err = pred_error
+        plan = LeafPlan(
+            rect=rect, is_inter=False, mode=best_mode, mv=ZERO_MV,
+            mv_predictor=ZERO_MV, ref_index=0, interp_filter=0, skip=False,
+            cost=best_cost, pred_error=best_err,
+        )
+        return best_cost, plan
+
+    def _inter_mv_candidates(
+        self, rect: BlockRect, predictor: MotionVector
+    ) -> list[MotionVector]:
+        """Candidate MV list: NEAREST/NEAR/GLOBAL-style, best first.
+
+        AV1 codes several "reference MV" modes before resorting to an
+        explicit NEWMV; each extra candidate is a real motion-
+        compensation plus RD round trip in the search.
+        """
+        candidates = [predictor]
+        left = self.mv_field.get(self._mv_key(rect.row, rect.col - self.spec.min_block))
+        above = self.mv_field.get(self._mv_key(rect.row - self.spec.min_block, rect.col))
+        for neighbour in (left, above):
+            if neighbour is not None and neighbour not in candidates:
+                candidates.append(neighbour)
+        if ZERO_MV not in candidates:
+            candidates.append(ZERO_MV)
+        return candidates[: max(self.profile.inter_mode_candidates - 1, 0)]
+
+    def _evaluate_inter_leaf(self, rect: BlockRect) -> tuple[float, LeafPlan]:
+        inst = self.inst
+        family = self.spec.family
+        src_block = self._src_block(rect)
+        predictor = self._predict_mv(rect)
+
+        with inst.function(f"{family}.inter_mode_decision"):
+            # 1) Skip candidate: motion-compensate at the predicted MV
+            #    with no residual.
+            skip_pred = self._mc_pred(rect, predictor, ref_index=0, filt=0)
+            skip_sse = float(
+                ((src_block - skip_pred.astype(np.int32)) ** 2).sum()
+            )
+            inst.kernel("variance", rect.pixels)
+            skip_cost = skip_sse + self.lam * _SKIP_SIGNAL_BITS
+            # Accepting skip outright requires the no-residual distortion
+            # to sit at the quantisation floor already — anything looser
+            # locks in above-floor error that compounds across inter
+            # frames.  (The lambda-based test is only used to *prune*
+            # search among candidates that still code a residual.)
+            quant_floor = self.step * self.step / 12.0
+            skip_good = skip_sse < 1.2 * quant_floor * rect.pixels
+            inst.branch(inst.site(f"{family}.md.skip_early"), skip_good)
+            inst.kernel("rdo_bookkeep", 1)
+            if skip_good:
+                plan = LeafPlan(
+                    rect=rect, is_inter=True, mode=None, mv=predictor,
+                    mv_predictor=predictor, ref_index=0, interp_filter=0,
+                    skip=True, cost=skip_cost, pred_error=skip_sse,
+                )
+                return skip_cost, plan
+
+            best_cost = skip_cost
+            best_plan = LeafPlan(
+                rect=rect, is_inter=True, mode=None, mv=predictor,
+                mv_predictor=predictor, ref_index=0, interp_filter=0,
+                skip=True, cost=skip_cost, pred_error=skip_sse,
+            )
+
+            # 2) Reference-MV candidates (NEAR/GLOBAL family).
+            for cand_idx, mv in enumerate(self._inter_mv_candidates(rect, predictor)):
+                cost, skip_flag, err, filt = self._rd_cost_inter(
+                    rect, src_block, mv, predictor, ref_index=0
+                )
+                inst.kernel("rdo_bookkeep", 1)
+                improved = cost < best_cost
+                inst.branch(
+                    inst.site(f"{family}.md.refmv{cand_idx}.improve"), improved
+                )
+                if improved:
+                    best_cost = cost
+                    best_plan = LeafPlan(
+                        rect=rect, is_inter=True, mode=None, mv=mv,
+                        mv_predictor=predictor, ref_index=0,
+                        interp_filter=filt, skip=skip_flag, cost=cost,
+                        pred_error=err,
+                    )
+                refmv_done = self._cost_cheap(best_cost, rect.pixels)
+                inst.branch(
+                    inst.site(f"{family}.md.refmv_exit"), refmv_done
+                )
+                if refmv_done:
+                    break
+
+            # 3) Explicit motion search (NEWMV) over the reference list
+            #    — skipped entirely when a reference-MV candidate already
+            #    predicts below the quantisation floor (the largest
+            #    CRF-dependent saving in real encoders).
+            newmv_skip = self._cost_cheap(best_cost, rect.pixels)
+            inst.branch(inst.site(f"{family}.md.newmv_skip"), newmv_skip)
+            num_refs = 0 if newmv_skip else min(
+                self.profile.reference_frames, len(self.refs)
+            )
+            for ref_index in range(num_refs):
+                search = self._motion_search(rect, src_block, predictor, ref_index)
+                cost, skip_flag, err, filt = self._rd_cost_inter(
+                    rect, src_block, search.mv, predictor, ref_index
+                )
+                inst.kernel("rdo_bookkeep", 1)
+                improved = cost < best_cost
+                inst.branch(
+                    inst.site(f"{family}.md.newmv{ref_index}.improve"), improved
+                )
+                if improved:
+                    best_cost = cost
+                    best_plan = LeafPlan(
+                        rect=rect, is_inter=True, mode=None, mv=search.mv,
+                        mv_predictor=predictor, ref_index=ref_index,
+                        interp_filter=filt, skip=skip_flag, cost=cost,
+                        pred_error=err,
+                    )
+                # Stop searching further references once the residual is
+                # below the quantisation floor.
+                done = self._cost_cheap(best_cost, rect.pixels)
+                inst.branch(inst.site(f"{family}.md.ref_exit"), done)
+                if done:
+                    break
+
+            # 4) Compound prediction (AV1): average two references.
+            if (
+                self.profile.compound_modes > 0
+                and len(self.refs) >= 2
+                and best_plan.is_inter
+            ):
+                for comp_idx in range(self.profile.compound_modes):
+                    second_mv = predictor if comp_idx == 0 else ZERO_MV
+                    pred_a = self._mc_pred(
+                        rect, best_plan.mv, best_plan.ref_index,
+                        best_plan.interp_filter,
+                    )
+                    pred_b = self._mc_pred(rect, second_mv, 1, 0)
+                    comp_pred = (
+                        (pred_a.astype(np.uint16) + pred_b.astype(np.uint16))
+                        // 2
+                    ).astype(np.uint8)
+                    inst.kernel("mc_interp", rect.pixels * self.mc_cost)
+                    residual = (
+                        src_block - comp_pred.astype(np.int32)
+                    ).astype(np.float64)
+                    comp_err = float((residual * residual).sum())
+                    choice = self._transform_rd(rect, residual)
+                    inst.kernel("rdo_bookkeep", 1)
+                    comp_cost = choice.sse + self.lam * (
+                        choice.bits
+                        + mv_bits(best_plan.mv, predictor)
+                        + _SKIP_SIGNAL_BITS
+                    )
+                    improved = comp_cost < best_cost
+                    inst.branch(
+                        inst.site(f"{family}.md.comp{comp_idx}.improve"),
+                        improved,
+                    )
+                    # Compound candidates inform the RD search; single-
+                    # reference reconstruction is kept for the plan (the
+                    # decode path models single-ref MC only), so the
+                    # improvement margin is folded into the cost.
+                    if improved:
+                        best_cost = comp_cost
+
+            # 5) Intra fallback (restricted mode set on inter frames).
+            intra_budget = max(1, self.profile.intra_mode_count // 2)
+            ranked = self._intra_candidates(rect, intra_budget)
+            intra_cost, intra_err = self._rd_cost_intra(rect, ranked[0])
+            inst.kernel("rdo_bookkeep", 1)
+            choose_intra = intra_cost < best_cost
+            inst.branch(inst.site(f"{family}.md.inter_vs_intra"), choose_intra)
+            if choose_intra:
+                best_cost = intra_cost
+                best_plan = LeafPlan(
+                    rect=rect, is_inter=False, mode=ranked[0], mv=ZERO_MV,
+                    mv_predictor=ZERO_MV, ref_index=0, interp_filter=0,
+                    skip=False, cost=intra_cost, pred_error=intra_err,
+                )
+        return best_cost, best_plan
+
+    def _motion_search(
+        self,
+        rect: BlockRect,
+        src_block: np.ndarray,
+        predictor: MotionVector,
+        ref_index: int,
+    ) -> SearchResult:
+        inst = self.inst
+        family = self.spec.family
+        ref = self.refs[ref_index]
+        with inst.function(f"{family}.motion_search"):
+            if self.profile.motion_strategy == "full":
+                result = full_search(
+                    src_block.astype(np.uint8), ref, rect.row, rect.col,
+                    self.profile.search_range,
+                )
+            else:
+                result = diamond_search(
+                    src_block.astype(np.uint8), ref, rect.row, rect.col,
+                    self.profile.search_range, start=predictor,
+                )
+            inst.kernel("sad", result.positions * rect.pixels)
+            inst.kernel("mv_cost", result.positions)
+            inst.loop(
+                inst.site(f"{family}.sad.rowloop"),
+                trip_count=rect.height,
+                invocations=result.positions,
+            )
+            span = 2 * self.profile.search_range
+            inst.touch(
+                self.ref_planes[ref_index],
+                max(rect.row - self.profile.search_range, 0),
+                rect.height + span,
+                max(rect.col - self.profile.search_range, 0),
+                rect.width + span,
+            )
+            if self.profile.subpel_depth > 0:
+                result = subpel_refine(
+                    src_block.astype(np.uint8), ref, rect.row, rect.col,
+                    result, self.profile.subpel_depth,
+                )
+                inst.kernel("mc_interp", result.interp_pixels * self.mc_cost)
+                inst.kernel("sad", result.positions * rect.pixels * 0.25)
+            # Replay the search kernel's per-candidate compare branches
+            # into the branch trace (a handful of static sites, as the
+            # unrolled SIMD search loop has).
+            for pos, improved in enumerate(result.improvements):
+                inst.branch(
+                    inst.site(f"{family}.sad.improve{pos & 7}"), improved
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # Motion compensation with filter variants
+    # ------------------------------------------------------------------
+    def _mc_pred(
+        self, rect: BlockRect, mv: MotionVector, ref_index: int, filt: int
+    ) -> np.ndarray:
+        """Motion-compensated prediction with one of three MC filters.
+
+        Filter 0 is the base interpolator; 1 ("smooth") low-passes the
+        prediction; 2 ("sharp") adds a mild unsharp mask — the
+        regular/smooth/sharp switchable filters of VP9/AV1.
+        """
+        inst = self.inst
+        ref = self.refs[ref_index]
+        pred = interpolate(
+            ref, rect.row, rect.col, rect.height, rect.width, mv
+        ).astype(np.float64)
+        inst.kernel("mc_interp", rect.pixels * self.mc_cost)
+        inst.touch(self.ref_planes[ref_index], rect.row, rect.height,
+                   rect.col, rect.width)
+        if filt == 0:
+            return pred.astype(np.uint8)
+        blurred = (
+            pred
+            + np.roll(pred, 1, axis=0) + np.roll(pred, -1, axis=0)
+            + np.roll(pred, 1, axis=1) + np.roll(pred, -1, axis=1)
+        ) / 5.0
+        inst.kernel("mc_interp", rect.pixels * self.mc_cost)
+        if filt == 1:
+            out = blurred
+        else:
+            out = np.clip(2.0 * pred - blurred, 0, 255)
+        return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # RD cost via transform-size search
+    # ------------------------------------------------------------------
+    def _tx_candidate_sizes(self, height: int, width: int) -> list[int]:
+        """Transform sizes the profile's TX search evaluates."""
+        base = min(height, width, 32)
+        if base not in TRANSFORM_SIZES:
+            base = max(s for s in TRANSFORM_SIZES if s <= base)
+        sizes = []
+        size = base
+        while size >= 4 and len(sizes) < self.profile.tx_search_depth:
+            if height % size == 0 and width % size == 0:
+                sizes.append(size)
+            size //= 2
+        return sizes or [base]
+
+    def _transform_rd(
+        self, rect: BlockRect, residual: np.ndarray
+    ) -> TransformChoice:
+        """Search transform sizes and types; transform/quantise/recon.
+
+        AV1 profiles evaluate several square transform sizes *and*
+        several row/column basis combinations (the TX-type search); the
+        H.264 profile evaluates exactly one.  All tiles of one
+        configuration are processed as a single batched matmul, as a
+        SIMD transform kernel would.
+        """
+        inst = self.inst
+        best: TransformChoice | None = None
+        best_cost = float("inf")
+        tx_types = TX_TYPES[: self.profile.tx_types]
+        for size_idx, tx in enumerate(
+            self._tx_candidate_sizes(rect.height, rect.width)
+        ):
+            tiles = tile_block(residual, tx)
+            for type_idx, tx_type in enumerate(tx_types):
+                coeffs = forward_tx_batch(tiles, tx_type)
+                inst.kernel("fdct", rect.pixels)
+                levels = self.quant.quantize(coeffs)
+                inst.kernel("quant", rect.pixels)
+                bits = fast_rate_estimate_batch(levels)
+                inst.kernel("rate_estimate", rect.pixels * 0.25)
+                recon_tiles = inverse_tx_batch(
+                    self.quant.dequantize(levels), tx_type
+                )
+                inst.kernel("dequant", rect.pixels)
+                inst.kernel("idct", rect.pixels)
+                recon_res = untile_block(recon_tiles, rect.height, rect.width)
+                sse = float(((residual - recon_res) ** 2).sum())
+                inst.kernel("variance", rect.pixels)
+                nonzero = bool(levels.any())
+                inst.branch(inst.site(f"{self.spec.family}.tx.cbf"), nonzero)
+                cost = sse + self.lam * bits
+                better = cost < best_cost
+                if size_idx > 0 or type_idx > 0:
+                    inst.branch(
+                        inst.site(
+                            f"{self.spec.family}.tx.cand.improve"
+                        ),
+                        better,
+                    )
+                if better:
+                    best_cost = cost
+                    best = TransformChoice(
+                        tx_size=tx, tx_type=tx_type, sse=sse, bits=bits,
+                        recon_residual=recon_res, levels=levels,
+                    )
+        assert best is not None
+        return best
+
+    def _rd_cost_intra(
+        self, rect: BlockRect, mode: IntraMode
+    ) -> tuple[float, float]:
+        """Full RD cost of one intra mode; returns (cost, pred_error)."""
+        above, left = extend_neighbours(
+            self.recon, rect.row, rect.col, rect.height, rect.width
+        )
+        pred = predict(mode, above, left, rect.height, rect.width)
+        self.inst.kernel("intra_pred", rect.pixels)
+        src_block = self._src_block(rect)
+        residual = (src_block - pred.astype(np.int32)).astype(np.float64)
+        pred_error = float((residual * residual).sum())
+        choice = self._transform_rd(rect, residual)
+        cost = choice.sse + self.lam * (choice.bits + _MODE_SIGNAL_BITS)
+        return cost, pred_error
+
+    def _rd_cost_inter(
+        self,
+        rect: BlockRect,
+        src_block: np.ndarray,
+        mv: MotionVector,
+        predictor: MotionVector,
+        ref_index: int,
+    ) -> tuple[float, bool, float, int]:
+        """RD cost of an inter candidate with interpolation-filter
+        search; returns (cost, skip, pred_error, filter)."""
+        inst = self.inst
+        best_filt = 0
+        best_pred: np.ndarray | None = None
+        best_err = float("inf")
+        for filt in range(max(1, self.profile.interp_filters)):
+            pred = self._mc_pred(rect, mv, ref_index, filt)
+            err = float(
+                ((src_block - pred.astype(np.int32)) ** 2).sum()
+            )
+            inst.kernel("variance", rect.pixels)
+            if filt > 0:
+                inst.branch(
+                    inst.site(f"{self.spec.family}.md.filt{filt}.improve"),
+                    err < best_err,
+                )
+            if err < best_err:
+                best_err = err
+                best_filt = filt
+                best_pred = pred
+        residual = (src_block - best_pred.astype(np.int32)).astype(np.float64)
+        choice = self._transform_rd(rect, residual)
+        mvr = mv_bits(mv, predictor)
+        cost = choice.sse + self.lam * (choice.bits + mvr + _SKIP_SIGNAL_BITS)
+        # "Skip" here = no residual coded even though MV is explicit.
+        skip = choice.bits <= 1.0
+        return cost, skip, best_err, best_filt
+
+    # ------------------------------------------------------------------
+    # MV prediction
+    # ------------------------------------------------------------------
+    def _mv_key(self, row: int, col: int) -> tuple[int, int]:
+        return (row // self.spec.min_block, col // self.spec.min_block)
+
+    def _predict_mv(self, rect: BlockRect) -> MotionVector:
+        neighbours = []
+        for dr, dc in ((0, -self.spec.min_block), (-self.spec.min_block, 0),
+                       (-self.spec.min_block, -self.spec.min_block)):
+            key = self._mv_key(rect.row + dr, rect.col + dc)
+            if key in self.mv_field:
+                neighbours.append(self.mv_field[key])
+        if not neighbours:
+            return ZERO_MV
+        rows = sorted(mv.row for mv in neighbours)
+        cols = sorted(mv.col for mv in neighbours)
+        mid = len(neighbours) // 2
+        return MotionVector(rows[mid], cols[mid])
+
+    def _store_mvs(self, rect: BlockRect, mv: MotionVector) -> None:
+        for row in range(rect.row, rect.row + rect.height, self.spec.min_block):
+            for col in range(rect.col, rect.col + rect.width, self.spec.min_block):
+                self.mv_field[self._mv_key(row, col)] = mv
+
+    # ------------------------------------------------------------------
+    # Applying the chosen plan
+    # ------------------------------------------------------------------
+    def _apply_plan(self, plan: PartitionPlan | LeafPlan) -> float:
+        if isinstance(plan, LeafPlan):
+            return self._apply_leaf(plan)
+        bits = self._code_symbol(
+            f"part.{plan.rect.width}",
+            list(PartitionType).index(plan.partition), 4,
+        )
+        for child in plan.children:
+            bits += self._apply_plan(child)
+        return bits
+
+    def _code_symbol(self, kind: str, value: int, nbits: int) -> float:
+        """Entropy-code a small syntax symbol as literal bits."""
+        self.bool_encoder.encode_literal(value & ((1 << nbits) - 1), nbits)
+        self.inst.kernel("entropy_bin", nbits)
+        self.frame_symbol_count += nbits
+        return float(nbits)
+
+    def _apply_leaf(self, plan: LeafPlan) -> float:
+        inst = self.inst
+        rect = plan.rect
+        src_block = self._src_block(rect)
+        bits = 0.0
+
+        if plan.is_inter:
+            bits += self._code_symbol("mode.inter", 1, 1)
+            pred = self._mc_pred(rect, plan.mv, plan.ref_index, plan.interp_filter)
+            mv_diff_bits = (
+                signed_exp_golomb_bits(plan.mv.row - plan.mv_predictor.row)
+                + signed_exp_golomb_bits(plan.mv.col - plan.mv_predictor.col)
+            )
+            bits += self._code_symbol("mv", 0, max(mv_diff_bits, 1))
+            self._store_mvs(rect, plan.mv)
+        else:
+            bits += self._code_symbol("mode.intra", 0, 1)
+            mode_index = self.spec.intra_modes.index(plan.mode)
+            bits += self._code_symbol("mode.value", mode_index, 4)
+            above, left = extend_neighbours(
+                self.recon, rect.row, rect.col, rect.height, rect.width
+            )
+            pred = predict(plan.mode, above, left, rect.height, rect.width)
+            inst.kernel("intra_pred", rect.pixels)
+            self._store_mvs(rect, ZERO_MV)
+
+        if plan.skip:
+            recon_block = pred
+            bits += self._code_symbol("skip", 1, 1)
+        else:
+            bits += self._code_symbol("skip", 0, 1)
+            residual = (src_block - pred.astype(np.int32)).astype(np.float64)
+            choice = self._transform_rd(rect, residual)
+            prefix = f"{'p' if plan.is_inter else 'i'}.tx{choice.tx_size}"
+            for tile_levels in choice.levels:
+                tile_bits, symbols = self.coder.code_block(tile_levels, prefix)
+                bits += tile_bits
+                inst.kernel("entropy_bin", symbols)
+                self.frame_symbol_count += symbols
+            recon_block = np.clip(
+                pred.astype(np.float64) + choice.recon_residual, 0, 255
+            ).astype(np.uint8)
+
+        self.recon[
+            rect.row : rect.row + rect.height, rect.col : rect.col + rect.width
+        ] = recon_block
+        inst.kernel("recon", rect.pixels)
+        inst.touch(
+            self.rec_plane, rect.row, rect.height, rect.col, rect.width,
+            write=True,
+        )
+        return bits
+
+    # ------------------------------------------------------------------
+    # Chroma and loop filter
+    # ------------------------------------------------------------------
+    def _code_chroma_block(self, frame: Frame, rect: BlockRect) -> float:
+        """Code both chroma planes under a superblock with DC prediction.
+
+        Chroma carries a small share of encode work in the studied
+        encoders; a single DC-predicted transform per plane per
+        superblock reproduces its bit and instruction contribution
+        without a second full RD search.
+        """
+        inst = self.inst
+        bits = 0.0
+        c_row = rect.row // 2
+        c_col = rect.col // 2
+        c_size = self.sb // 2
+        for plane_name, plane in (("u", frame.u), ("v", frame.v)):
+            data = plane.data
+            if c_row >= data.shape[0] or c_col >= data.shape[1]:
+                continue
+            block = data[
+                c_row : c_row + c_size, c_col : c_col + c_size
+            ].astype(np.float64)
+            if block.shape != (c_size, c_size):
+                block = np.pad(
+                    block,
+                    ((0, c_size - block.shape[0]), (0, c_size - block.shape[1])),
+                    mode="edge",
+                )
+            dc = float(block.mean())
+            inst.kernel("intra_pred", c_size * c_size)
+            residual = block - dc
+            tx = min(c_size, 16)
+            tiles = tile_block(residual, tx)
+            coeffs = forward_tx_batch(tiles)
+            inst.kernel("fdct", c_size * c_size)
+            levels = self.quant.quantize(coeffs)
+            inst.kernel("quant", c_size * c_size)
+            recon_tiles = inverse_tx_batch(self.quant.dequantize(levels))
+            inst.kernel("idct", c_size * c_size)
+            for tile_levels in levels:
+                tile_bits, symbols = self.coder.code_block(
+                    tile_levels, f"c.{plane_name}"
+                )
+                bits += tile_bits
+                inst.kernel("entropy_bin", symbols)
+                self.frame_symbol_count += symbols
+            bits += 8.0  # DC value
+            recon = np.clip(
+                dc + untile_block(recon_tiles, c_size, c_size), 0, 255
+            ).astype(np.uint8)
+            inst.kernel("recon", c_size * c_size)
+            target = self._chroma_recon(plane_name)
+            th = min(c_size, target.shape[0] - c_row)
+            tw = min(c_size, target.shape[1] - c_col)
+            if th > 0 and tw > 0:
+                target[c_row : c_row + th, c_col : c_col + tw] = recon[:th, :tw]
+        return bits
+
+    def _chroma_recon(self, plane_name: str) -> np.ndarray:
+        if self._chroma_planes is None:
+            height = self.video.height // 2
+            width = self.video.width // 2
+            self._chroma_planes = {
+                "u": np.full((height, width), 128, dtype=np.uint8),
+                "v": np.full((height, width), 128, dtype=np.uint8),
+            }
+        return self._chroma_planes[plane_name]
+
+    def _loop_filter(self) -> None:
+        """Deblocking: blend across block-grid edges where the step is
+        small (a quantisation artifact, not a real edge)."""
+        inst = self.inst
+        recon = self.recon.astype(np.int16)
+        threshold = max(2.0, min(self.step, 8.0))
+        grid = self.spec.min_block
+        height, width = recon.shape
+        for col in range(grid, width, grid):
+            a = recon[:, col - 1]
+            b = recon[:, col]
+            mask = np.abs(a - b) < threshold
+            avg = (a + b) // 2
+            recon[:, col - 1] = np.where(mask, (a + avg) // 2, a)
+            recon[:, col] = np.where(mask, (b + avg) // 2, b)
+        for row in range(grid, height, grid):
+            a = recon[row - 1, :]
+            b = recon[row, :]
+            mask = np.abs(a - b) < threshold
+            avg = (a + b) // 2
+            recon[row - 1, :] = np.where(mask, (a + avg) // 2, a)
+            recon[row, :] = np.where(mask, (b + avg) // 2, b)
+        self.recon = np.clip(recon, 0, 255).astype(np.uint8)
+        inst.kernel("loop_filter", self.recon.size)
+        inst.touch(self.rec_plane, 0, height, 0, width, write=True)
+        inst.loop(
+            inst.site(f"{self.spec.family}.lf.colloop"),
+            trip_count=max(width // grid, 1),
+        )

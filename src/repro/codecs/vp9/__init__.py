@@ -1,0 +1,86 @@
+"""VP9 encoder model (libvpx-vp9).
+
+VP9 is AV1's predecessor: the same recursive-superblock architecture
+but with only 4 partition shapes and a 10-mode intra set, which is why
+the paper finds it roughly an order of magnitude faster than SVT-AV1
+at equal CRF.
+
+Preset convention: 0–8, higher is faster (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from ..base import CodecSpec, EncoderConfig, PresetProfile
+from ..blocks import VP9_PARTITIONS
+from ..pipeline import PipelineEncoder
+from ..predict import VP9_MODES
+
+_PRESETS = {
+    0: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=10,
+        motion_strategy="full",
+        search_range=16,
+        subpel_depth=3,
+        rd_candidates=2,
+        early_exit_scale=0.8,
+        reference_frames=3,
+        inter_mode_candidates=3,
+        tx_search_depth=2,
+        interp_filters=3,
+        tx_types=2,
+    ),
+    4: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=2,
+        intra_mode_count=8,
+        motion_strategy="diamond",
+        search_range=12,
+        subpel_depth=2,
+        rd_candidates=1,
+        early_exit_scale=4.0,
+        reference_frames=1,
+        inter_mode_candidates=2,
+        tx_search_depth=1,
+        interp_filters=2,
+    ),
+    8: PresetProfile(
+        partition_vocabulary=VP9_PARTITIONS,
+        max_partition_depth=1,
+        intra_mode_count=4,
+        motion_strategy="diamond",
+        search_range=8,
+        subpel_depth=1,
+        rd_candidates=1,
+        early_exit_scale=8.0,
+        reference_frames=1,
+        inter_mode_candidates=1,
+        tx_search_depth=1,
+        interp_filters=1,
+    ),
+}
+
+LIBVPX_VP9_SPEC = CodecSpec(
+    name="libvpx-vp9",
+    family="vp9",
+    crf_range=63,
+    preset_count=9,
+    preset_higher_is_faster=True,
+    superblock=32,
+    min_block=8,
+    intra_modes=VP9_MODES,
+    presets=_PRESETS,
+    interp_taps=8,
+    bitstream_efficiency=0.93,
+)
+
+
+class LibvpxVp9Encoder(PipelineEncoder):
+    """libvpx-vp9 model."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        super().__init__(LIBVPX_VP9_SPEC, config)
+
+
+__all__ = ["LIBVPX_VP9_SPEC", "LibvpxVp9Encoder"]

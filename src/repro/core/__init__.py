@@ -1,0 +1,39 @@
+"""The characterization methodology: per-run measurement and sweeps."""
+
+from .characterize import characterize, encode_workload, workload_scales
+from .report import ExperimentResult, Series, Table, format_result, format_table
+from .session import RunKey, Session, default_session
+from .sweeps import (
+    DEFAULT_CRFS,
+    DEFAULT_PRESETS,
+    ThreadStudy,
+    codec_comparison,
+    comparable_preset,
+    crf_sweep,
+    preset_sweep,
+    scale_crf,
+    thread_study,
+)
+
+__all__ = [
+    "DEFAULT_CRFS",
+    "DEFAULT_PRESETS",
+    "ExperimentResult",
+    "RunKey",
+    "Series",
+    "Session",
+    "Table",
+    "ThreadStudy",
+    "characterize",
+    "codec_comparison",
+    "comparable_preset",
+    "crf_sweep",
+    "default_session",
+    "encode_workload",
+    "format_result",
+    "format_table",
+    "preset_sweep",
+    "scale_crf",
+    "thread_study",
+    "workload_scales",
+]

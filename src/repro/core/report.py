@@ -1,0 +1,127 @@
+"""Result containers and text formatting for tables and figures.
+
+Every experiment module returns an :class:`ExperimentResult` holding
+the tables (rows of cells) and series (x/y vectors) that regenerate
+the corresponding artifact of the paper.  ``format_*`` helpers render
+them as aligned text, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line/bar group: a name plus x/y vectors."""
+
+    name: str
+    x: tuple
+    y: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.name!r}: x/y length mismatch "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+
+
+@dataclass(frozen=True)
+class Table:
+    """One printed table: headers plus rows of cells."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ExperimentError(
+                    f"table {self.title!r}: row width {len(row)} != "
+                    f"{len(self.headers)} headers"
+                )
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise ExperimentError(
+                f"table {self.title!r} has no column {header!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one paper artifact reproduction produced."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self, title: str) -> Table:
+        """Fetch a table by title."""
+        for table in self.tables:
+            if table.title == title:
+                return table
+        raise ExperimentError(
+            f"{self.experiment_id}: no table titled {title!r}"
+        )
+
+    def get_series(self, name: str) -> Series:
+        """Fetch a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise ExperimentError(
+            f"{self.experiment_id}: no series named {name!r}"
+        )
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(table: Table) -> str:
+    """Render a table with aligned columns."""
+    rows = [tuple(_fmt(c) for c in row) for row in table.rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) if rows else len(header)
+        for i, header in enumerate(table.headers)
+    ]
+    lines = [table.title]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(table.headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render a full experiment result (tables, series, notes)."""
+    parts = [f"== {result.experiment_id}: {result.title} =="]
+    for table in result.tables:
+        parts.append(format_table(table))
+    for series in result.series:
+        pairs = ", ".join(
+            f"{_fmt(x)}:{_fmt(y)}" for x, y in zip(series.x, series.y)
+        )
+        parts.append(f"series {series.name}: {pairs}")
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n\n".join(parts)

@@ -1,0 +1,133 @@
+"""Parameter sweeps: the paper's CRF, preset, codec and thread studies.
+
+Each sweep returns plain lists of :class:`~repro.uarch.perfcounters.
+PerfReport` (or scaling curves), which the experiment modules reshape
+into the exact rows/series of each table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codecs import SPECS
+from ..errors import ExperimentError
+from ..parallel.scaling import ScalingCurve, thread_scaling, topdown_with_threads
+from ..uarch.perfcounters import PerfReport
+from ..uarch.topdown import TopDown
+from .session import Session, default_session
+
+#: The paper's CRF sweep grid (§4.2: "vary CRF from 10 to 60").
+DEFAULT_CRFS: tuple[int, ...] = (10, 20, 30, 40, 50, 60)
+
+#: AV1/VP9-family presets are 0-8 (higher = faster).
+DEFAULT_PRESETS: tuple[int, ...] = tuple(range(9))
+
+
+def scale_crf(codec: str, crf: float, reference_range: int = 63) -> float:
+    """Translate a CRF on the AV1 0-63 scale to ``codec``'s scale.
+
+    The paper sweeps "CRF" jointly across encoders whose CRF ranges
+    differ (§3.3); equal *fractions* of the range are the comparable
+    operating points.
+    """
+    spec = SPECS.get(codec)
+    if spec is None:
+        raise ExperimentError(f"unknown codec {codec!r}")
+    return round(crf / reference_range * spec.crf_range)
+
+
+def comparable_preset(codec: str, av1_preset: int) -> int:
+    """Map an AV1-scale preset (0-8, higher=faster) onto ``codec``.
+
+    x264/x265 number presets 0-9 with higher = *slower* (§3.3), so the
+    scale is inverted and stretched.
+    """
+    spec = SPECS.get(codec)
+    if spec is None:
+        raise ExperimentError(f"unknown codec {codec!r}")
+    if spec.preset_higher_is_faster:
+        return av1_preset
+    # Map speed level (0 slowest..8 fastest) into the reversed range.
+    level = round(av1_preset / 8 * (spec.preset_count - 1))
+    return spec.preset_count - 1 - level
+
+
+def crf_sweep(
+    codec: str,
+    video: str,
+    crfs: tuple[int, ...] = DEFAULT_CRFS,
+    preset: int = 4,
+    session: Session | None = None,
+) -> list[PerfReport]:
+    """Characterize one clip across CRF values (paper §4.2)."""
+    session = session or default_session()
+    return [
+        session.report(codec, video, scale_crf(codec, crf), preset)
+        for crf in crfs
+    ]
+
+
+def preset_sweep(
+    codec: str,
+    video: str,
+    presets: tuple[int, ...] = DEFAULT_PRESETS,
+    crf: float = 40,
+    session: Session | None = None,
+) -> list[PerfReport]:
+    """Characterize one clip across speed presets (paper §4.5)."""
+    session = session or default_session()
+    return [
+        session.report(codec, video, crf, preset) for preset in presets
+    ]
+
+
+def codec_comparison(
+    codecs: tuple[str, ...],
+    video: str,
+    crf: float,
+    av1_preset: int = 4,
+    session: Session | None = None,
+) -> list[PerfReport]:
+    """Characterize several encoders at a comparable operating point."""
+    session = session or default_session()
+    return [
+        session.report(
+            codec,
+            video,
+            scale_crf(codec, crf),
+            comparable_preset(codec, av1_preset),
+        )
+        for codec in codecs
+    ]
+
+
+@dataclass(frozen=True)
+class ThreadStudy:
+    """Scaling curve plus per-thread-count top-down profiles."""
+
+    codec: str
+    curve: ScalingCurve
+    topdowns: dict[int, TopDown]
+
+
+def thread_study(
+    codec: str,
+    video: str,
+    crf: float,
+    preset: int,
+    max_threads: int = 8,
+    num_frames: int = 8,
+    session: Session | None = None,
+) -> ThreadStudy:
+    """The paper's §4.6 study for one encoder configuration."""
+    session = session or default_session()
+    result = session.encode(codec, video, crf, preset, num_frames=num_frames)
+    report = session.report(codec, video, crf, preset)
+    curve = thread_scaling(result, max_threads=max_threads)
+    topdowns = {
+        point.threads: topdown_with_threads(
+            report.topdown, codec, point.threads, point.utilisation
+        )
+        for point in curve.points
+    }
+    return ThreadStudy(codec=codec, curve=curve, topdowns=topdowns)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses delineate the
+subsystem at fault, which matters for the experiment harness: workload
+errors are user-configuration problems, simulation errors are bugs in a
+model, and trace errors indicate malformed on-disk artifacts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class VideoError(ReproError):
+    """Invalid video parameters, frame geometry, or pixel data."""
+
+
+class CodecError(ReproError):
+    """Invalid encoder configuration or an internal encoding failure."""
+
+
+class TraceError(ReproError):
+    """A trace file or in-memory trace stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """A microarchitectural model was configured or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was asked for an artifact it does not define."""

@@ -1,0 +1,5 @@
+"""One module per paper artifact; see :mod:`repro.experiments.registry`."""
+
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]

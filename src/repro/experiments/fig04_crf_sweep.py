@@ -1,0 +1,47 @@
+"""Fig. 4: instruction count, execution time and IPC across CRF.
+
+The paper's observations this experiment must reproduce (§4.2.1):
+runtime tracks instruction count as CRF varies, while IPC hovers
+around 2 and moves by at most ~10%.
+"""
+
+from __future__ import annotations
+
+from ..core.report import ExperimentResult, Series, Table
+from ..core.session import Session
+from .common import make_session, sweep_crfs, sweep_videos
+
+EXPERIMENT_ID = "fig04"
+TITLE = "CRF sweep: #instructions (a), time (b), IPC (c)"
+
+PRESET = 4
+
+
+def run(session: Session | None = None) -> ExperimentResult:
+    """Sweep CRF for every video; produce the three panels' series."""
+    session = session or make_session()
+    rows = []
+    series = []
+    for video in sweep_videos():
+        insts, times, ipcs = [], [], []
+        for crf in sweep_crfs():
+            report = session.report("svt-av1", video, crf, PRESET)
+            insts.append(report.instructions)
+            times.append(report.time_seconds)
+            ipcs.append(report.ipc)
+            rows.append(
+                (video, crf, report.instructions, report.time_seconds,
+                 round(report.ipc, 3))
+            )
+        series.append(Series(name=f"insts:{video}", x=sweep_crfs(), y=tuple(insts)))
+        series.append(Series(name=f"time:{video}", x=sweep_crfs(), y=tuple(times)))
+        series.append(Series(name=f"ipc:{video}", x=sweep_crfs(), y=tuple(ipcs)))
+    table = Table(
+        title="Fig 4: CRF sweep (speed preset 4)",
+        headers=("video", "crf", "instructions", "time_s", "ipc"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, tables=[table],
+        series=series,
+    )

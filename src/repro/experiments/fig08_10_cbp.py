@@ -1,0 +1,74 @@
+"""Figs. 8-10: CBP evaluation of Gshare/TAGE on encoder branch traces.
+
+The paper captures per-clip branch traces at three operating points
+and replays them through four predictor configurations:
+
+- Fig. 8: traces at speed preset 8, CRF 63;
+- Fig. 9: traces at speed preset 4, CRF 10;
+- Fig. 10: traces at speed preset 4, CRF 60.
+
+Target shapes: TAGE beats Gshare at equal size; the larger variant of
+each scheme beats the smaller.
+"""
+
+from __future__ import annotations
+
+from ..cbp import capture_trace, run_championship
+from ..core.report import ExperimentResult, Series, Table
+from ..video import vbench
+from .common import fast_mode, sweep_videos
+
+#: (figure id, preset, CRF on the AV1 scale)
+CONFIGS: dict[str, tuple[int, int]] = {
+    "fig08": (8, 63),
+    "fig09": (4, 10),
+    "fig10": (4, 60),
+}
+
+PREDICTOR_ORDER = ("gshare-2KB", "gshare-32KB", "tage-8KB", "tage-64KB")
+
+
+def run(figure: str = "fig08", max_events: int | None = None) -> ExperimentResult:
+    """Capture traces and run the championship for one figure."""
+    preset, crf = CONFIGS[figure]
+    if max_events is None:
+        max_events = 8_000 if fast_mode() else 50_000
+    num_frames = 3 if fast_mode() else 6
+    traces = [
+        capture_trace(
+            vbench.load(video, num_frames=num_frames),
+            crf=crf, preset=preset, fraction=1.0 if preset == 8 else 0.6,
+            max_events=max_events,
+        )
+        for video in sweep_videos()
+    ]
+    championship = run_championship(traces)
+    grouped = championship.by_predictor()
+
+    rows = []
+    series = []
+    videos = tuple(sweep_videos())
+    for predictor in PREDICTOR_ORDER:
+        results = grouped[predictor]
+        mpkis = []
+        for video, result in zip(videos, results):
+            rows.append(
+                (
+                    predictor, video, round(result.mpki, 4),
+                    round(result.miss_rate * 100, 2), result.branches,
+                )
+            )
+            mpkis.append(result.mpki)
+        series.append(Series(name=predictor, x=videos, y=tuple(mpkis)))
+    table = Table(
+        title=f"{figure}: simulated branch-predictor MPKI "
+              f"(preset {preset}, CRF {crf})",
+        headers=("predictor", "video", "mpki", "miss_rate_pct", "branches"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id=figure,
+        title=f"CBP MPKI, traces at preset {preset} / CRF {crf}",
+        tables=[table],
+        series=series,
+    )

@@ -1,0 +1,66 @@
+"""Experiment registry: one entry per paper table/figure.
+
+``run_experiment("fig05")`` regenerates the corresponding artifact;
+:data:`EXPERIMENTS` maps every id to its runner and is what the
+benchmark harness iterates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.report import ExperimentResult
+from ..errors import ExperimentError
+from . import (
+    fig01_runtime,
+    fig02_quality,
+    fig03_opmix,
+    fig04_crf_sweep,
+    fig05_topdown,
+    fig06_uarch,
+    fig07_missrate,
+    fig08_10_cbp,
+    fig11_preset,
+    fig12_15_threads,
+    fig16_threads_topdown,
+    table1,
+    table2,
+)
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig01": fig01_runtime.run,
+    "fig02": fig02_quality.run,
+    "fig03": fig03_opmix.run,
+    "fig04": fig04_crf_sweep.run,
+    "fig05": fig05_topdown.run,
+    "fig06": fig06_uarch.run,
+    "fig07": fig07_missrate.run,
+    "fig08": lambda **kw: fig08_10_cbp.run(figure="fig08", **kw),
+    "fig09": lambda **kw: fig08_10_cbp.run(figure="fig09", **kw),
+    "fig10": lambda **kw: fig08_10_cbp.run(figure="fig10", **kw),
+    "fig11": fig11_preset.run,
+    "fig12": lambda **kw: fig12_15_threads.run(figure="fig12", **kw),
+    "fig13": lambda **kw: fig12_15_threads.run(figure="fig13", **kw),
+    "fig14": lambda **kw: fig12_15_threads.run(figure="fig14", **kw),
+    "fig15": lambda **kw: fig12_15_threads.run(figure="fig15", **kw),
+    "fig16": fig16_threads_topdown.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered artifact ids."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Regenerate one table/figure by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,33 @@
+"""Encoder thread-scaling models (the paper's §4.6 study)."""
+
+from .models import (
+    GRAPH_BUILDERS,
+    build_graph,
+    build_libaom_graph,
+    build_svt_av1_graph,
+    build_x264_graph,
+    build_x265_graph,
+)
+from .scaling import (
+    ScalingCurve,
+    ScalingPoint,
+    thread_scaling,
+    topdown_with_threads,
+)
+from .tasks import ScheduleResult, Task, TaskGraph
+
+__all__ = [
+    "GRAPH_BUILDERS",
+    "ScalingCurve",
+    "ScalingPoint",
+    "ScheduleResult",
+    "Task",
+    "TaskGraph",
+    "build_graph",
+    "build_libaom_graph",
+    "build_svt_av1_graph",
+    "build_x264_graph",
+    "build_x265_graph",
+    "thread_scaling",
+    "topdown_with_threads",
+]

@@ -1,0 +1,226 @@
+"""Per-encoder threading models (task-graph builders).
+
+Each builder converts an instrumented encode's real per-unit work
+(:class:`~repro.codecs.base.TaskRecord`) into the task DAG that
+encoder's threading architecture creates.  The four models mirror the
+documented designs of the encoders in the paper's §4.6 study:
+
+``svt-av1``
+    SVT's process-based picture pipeline: superblock *segments* are
+    independent tasks within a frame, per-frame entropy/filter stages
+    are pipelined, and consecutive pictures overlap (mode decision of
+    frame *t+1* only waits for the reference portion of frame *t*).
+    Abundant, uniform tasks — the paper's most scalable encoder.
+
+``x264``
+    Frame-level threading: one thread owns a frame; a frame may start
+    once the previous frame's co-located rows are reconstructed (the
+    sync-point lag), giving pipeline parallelism that saturates around
+    the frame-lag depth.
+
+``x265``
+    Wavefront parallel processing *plus* a dominant per-frame master
+    thread (rate control, CTU row launch, final entropy) that the
+    paper's data shows serialising the encoder (max ~1.3x): the master
+    chain is pinned to worker 0 and carries most of each frame's work.
+
+``libaom``
+    Tile threads: a fixed tile grid bounds the per-frame parallelism;
+    frames are serialised on the reference chain.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from ..codecs.base import EncodeResult, TaskRecord
+from ..errors import SimulationError
+from .tasks import Task, TaskGraph
+
+
+def _records_by_frame(
+    result: EncodeResult,
+) -> dict[int, dict[str, list[TaskRecord]]]:
+    frames: dict[int, dict[str, list[TaskRecord]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for record in result.tasks:
+        frames[record.frame][record.kind].append(record)
+    if not frames:
+        raise SimulationError("encode produced no task records")
+    return frames
+
+
+def _frame_stage_work(records: dict[str, list[TaskRecord]]) -> tuple[float, float]:
+    """(parallelisable superblock work, serial stage work) for a frame."""
+    sb_work = sum(r.instructions for r in records.get("superblock", []))
+    serial = sum(
+        r.instructions
+        for kind in ("entropy", "filter", "admin")
+        for r in records.get(kind, [])
+    )
+    return sb_work, serial
+
+
+def build_svt_av1_graph(result: EncodeResult, segments: int = 8) -> TaskGraph:
+    """SVT-AV1 picture-pipeline graph.
+
+    Superblocks are grouped into ``segments`` independent tasks per
+    frame.  A segment of frame *t* depends only on the *same* segment
+    of frame *t-1* (its reference pixels), so pictures overlap; the
+    serial stages (entropy, filter) hang off the frame's segments and
+    feed nothing downstream except the next frame's same-numbered
+    segment chain through the filter.
+    """
+    frames = _records_by_frame(result)
+    tasks: list[Task] = []
+    for frame_index in sorted(frames):
+        records = frames[frame_index]
+        sbs = records.get("superblock", [])
+        per_segment: dict[int, float] = defaultdict(float)
+        for record in sbs:
+            per_segment[record.index % segments] += record.instructions
+        for segment, work in sorted(per_segment.items()):
+            deps: tuple[str, ...] = ()
+            if frame_index > 0 and frame_index - 1 in frames:
+                deps = (f"f{frame_index - 1}.seg{segment}",)
+            tasks.append(
+                Task(f"f{frame_index}.seg{segment}", work, deps)
+            )
+        _, serial = _frame_stage_work(records)
+        seg_names = tuple(
+            f"f{frame_index}.seg{s}" for s in sorted(per_segment)
+        )
+        tasks.append(Task(f"f{frame_index}.serial", serial, seg_names))
+    return TaskGraph(tasks)
+
+
+def build_x264_graph(result: EncodeResult, lag_fraction: float = 0.18) -> TaskGraph:
+    """x264 frame-threading graph.
+
+    Each frame is split into a "head" (the part another frame must wait
+    for — ``lag_fraction`` of the frame) and a "tail"; frame *t+1*'s
+    head depends on frame *t*'s head, so heads pipeline while tails
+    overlap freely.
+    """
+    if not 0.0 < lag_fraction <= 1.0:
+        raise SimulationError("lag_fraction must be in (0, 1]")
+    frames = _records_by_frame(result)
+    tasks: list[Task] = []
+    for frame_index in sorted(frames):
+        sb_work, serial = _frame_stage_work(frames[frame_index])
+        work = sb_work + serial
+        head = work * lag_fraction
+        tail = work - head
+        head_deps: tuple[str, ...] = ()
+        if frame_index > 0 and frame_index - 1 in frames:
+            head_deps = (f"f{frame_index - 1}.head",)
+        tasks.append(Task(f"f{frame_index}.head", head, head_deps))
+        tasks.append(
+            Task(f"f{frame_index}.tail", tail, (f"f{frame_index}.head",))
+        )
+    return TaskGraph(tasks)
+
+
+def build_x265_graph(
+    result: EncodeResult, master_fraction: float = 0.68
+) -> TaskGraph:
+    """x265 wavefront + dominant-master graph.
+
+    Per frame, ``master_fraction`` of the work forms a chain pinned to
+    worker 0 (the frame thread: rate control, row launch, entropy,
+    bookkeeping); the rest is split into wavefront row tasks each
+    depending on the previous row's task and the master's launch step.
+    Frames serialise on the master chain.
+    """
+    if not 0.0 <= master_fraction < 1.0:
+        raise SimulationError("master_fraction must be in [0, 1)")
+    frames = _records_by_frame(result)
+    tasks: list[Task] = []
+    previous_master: str | None = None
+    for frame_index in sorted(frames):
+        records = frames[frame_index]
+        sb_work, serial = _frame_stage_work(records)
+        work = sb_work + serial
+        master_work = work * master_fraction
+        launch = f"f{frame_index}.launch"
+        deps = (previous_master,) if previous_master else ()
+        tasks.append(
+            Task(launch, master_work * 0.3, deps, affinity=0)
+        )
+        rows = records.get("superblock", [])
+        row_work: dict[int, float] = defaultdict(float)
+        for record in rows:
+            row_work[record.row] += record.instructions
+        share = (work - master_work) / max(sum(row_work.values()), 1.0)
+        row_names = []
+        for row in sorted(row_work):
+            name = f"f{frame_index}.row{row}"
+            # WPP lets row r run two CTUs behind row r-1; at whole-row
+            # task granularity that overlap makes rows effectively
+            # independent once the master has launched the frame.
+            tasks.append(Task(name, row_work[row] * share, (launch,)))
+            row_names.append(name)
+        master = f"f{frame_index}.master"
+        tasks.append(
+            Task(
+                master,
+                master_work * 0.7,
+                tuple([launch] + row_names),
+                affinity=0,
+            )
+        )
+        previous_master = master
+    return TaskGraph(tasks)
+
+
+def build_libaom_graph(result: EncodeResult, tiles: int = 4) -> TaskGraph:
+    """libaom tile-threading graph: ``tiles`` column tasks per frame,
+    frames serialised on the previous frame's completion."""
+    if tiles < 1:
+        raise SimulationError("tiles must be >= 1")
+    frames = _records_by_frame(result)
+    tasks: list[Task] = []
+    previous_done: str | None = None
+    for frame_index in sorted(frames):
+        records = frames[frame_index]
+        tile_work: dict[int, float] = defaultdict(float)
+        cols = sorted({r.col for r in records.get("superblock", [])})
+        col_to_tile = {c: (i * tiles) // max(len(cols), 1) for i, c in enumerate(cols)}
+        for record in records.get("superblock", []):
+            tile_work[col_to_tile[record.col]] += record.instructions
+        tile_names = []
+        for tile, work in sorted(tile_work.items()):
+            name = f"f{frame_index}.tile{tile}"
+            deps = (previous_done,) if previous_done else ()
+            tasks.append(Task(name, work, deps))
+            tile_names.append(name)
+        _, serial = _frame_stage_work(records)
+        done = f"f{frame_index}.done"
+        tasks.append(Task(done, serial, tuple(tile_names)))
+        previous_done = done
+    return TaskGraph(tasks)
+
+
+#: Builder registry keyed by encoder name.
+GRAPH_BUILDERS: dict[str, Callable[[EncodeResult], TaskGraph]] = {
+    "svt-av1": build_svt_av1_graph,
+    "x264": build_x264_graph,
+    "x265": build_x265_graph,
+    "libaom": build_libaom_graph,
+    # libvpx-vp9 threads like libaom (tile-based); the paper's §4.6
+    # studies only the four encoders above, but the model is available.
+    "libvpx-vp9": build_libaom_graph,
+}
+
+
+def build_graph(result: EncodeResult) -> TaskGraph:
+    """Build the threading-model graph for the encode's codec."""
+    try:
+        builder = GRAPH_BUILDERS[result.codec]
+    except KeyError:
+        raise SimulationError(
+            f"no threading model for codec {result.codec!r}"
+        ) from None
+    return builder(result)

@@ -1,0 +1,150 @@
+"""Thread-scaling study and multi-threaded top-down (Figs. 12-16).
+
+:func:`thread_scaling` replays one encode's task graph on 1..N
+simulated workers and reports wall-clock speedups.
+
+:func:`topdown_with_threads` produces the paper's Fig. 16: how the
+top-down profile shifts as threads are added.  The shift has two
+physical sources the model captures:
+
+- **shared-LLC contention**: concurrently running workers displace
+  each other's lines, inflating backend-memory stalls in proportion to
+  how much *overlapping* data the threads touch.  Tile/segment-
+  parallel encoders (SVT-AV1, libaom, x264 frames) give workers
+  disjoint working sets, so contention is mild; x265's helper threads
+  operate inside the master's frame and share everything.
+- **synchronisation stalls**: x265's wavefront helpers spin on row
+  progress flags (memory polling), which the PMU books as backend-
+  bound cycles; the wait share comes from the actual schedule's idle
+  time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codecs.base import EncodeResult
+from ..errors import SimulationError
+from ..uarch.topdown import TopDown
+from .models import build_graph
+from .tasks import TaskGraph
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Speedup and utilisation at one thread count."""
+
+    threads: int
+    makespan: float
+    speedup: float
+    utilisation: float
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Speedup curve for one encoder configuration."""
+
+    codec: str
+    points: list[ScalingPoint]
+
+    def speedup_at(self, threads: int) -> float:
+        """Speedup at a specific thread count."""
+        for point in self.points:
+            if point.threads == threads:
+                return point.speedup
+        raise SimulationError(f"no scaling point for {threads} threads")
+
+
+#: Working-set overlap between concurrent workers, per encoder (the
+#: LLC-contention coefficient).  x265 helpers share the master's frame.
+_CONTENTION = {
+    "svt-av1": 0.04,
+    "libaom": 0.05,
+    "libvpx-vp9": 0.05,
+    "x264": 0.06,
+    "x265": 0.30,
+}
+
+#: Whether idle workers spin on memory flags (booked as backend).
+_SPIN_WAIT = {"x265": True}
+
+
+def thread_scaling(
+    result: EncodeResult,
+    max_threads: int = 8,
+    graph: TaskGraph | None = None,
+) -> ScalingCurve:
+    """Schedule the encode's task graph on 1..max_threads workers."""
+    if max_threads < 1:
+        raise SimulationError("max_threads must be >= 1")
+    if graph is None:
+        graph = build_graph(result)
+    base = graph.schedule(1).makespan
+    points = []
+    for threads in range(1, max_threads + 1):
+        schedule = graph.schedule(threads)
+        points.append(
+            ScalingPoint(
+                threads=threads,
+                makespan=schedule.makespan,
+                speedup=base / schedule.makespan if schedule.makespan else 1.0,
+                utilisation=schedule.utilisation,
+            )
+        )
+    return ScalingCurve(codec=result.codec, points=points)
+
+
+def topdown_with_threads(
+    single_thread: TopDown,
+    codec: str,
+    threads: int,
+    utilisation: float | None = None,
+) -> TopDown:
+    """Adjust a single-thread top-down profile for ``threads`` workers.
+
+    Parameters
+    ----------
+    single_thread:
+        The 1-thread profile from the core model.
+    codec:
+        Encoder name (selects contention/spin behaviour).
+    threads:
+        Concurrent worker count.
+    utilisation:
+        Scheduler utilisation at this thread count; defaults to 1
+        (perfectly busy workers).  Idle time becomes backend (spin) or
+        is discounted (sleeping workers do not sample) depending on the
+        encoder's synchronisation style.
+    """
+    if threads < 1:
+        raise SimulationError("threads must be >= 1")
+    contention = _CONTENTION.get(codec, 0.1)
+    spin = _SPIN_WAIT.get(codec, False)
+    util = 1.0 if utilisation is None else max(min(utilisation, 1.0), 1e-3)
+
+    # LLC contention inflates backend share.
+    extra_backend = single_thread.backend_memory * contention * (threads - 1)
+    # Spin-waiting helpers book their idle time as backend-memory.
+    if spin:
+        extra_backend += (1.0 - util) * 0.9
+
+    extra = min(extra_backend, 0.95 - single_thread.backend)
+    if extra <= 0:
+        return single_thread
+    # The extra backend slots displace retiring and frontend slots
+    # proportionally (total stays 1).
+    shrink = 1.0 - extra / (
+        single_thread.retiring
+        + single_thread.frontend
+        + single_thread.bad_speculation
+    )
+    return TopDown(
+        retiring=single_thread.retiring * shrink,
+        bad_speculation=single_thread.bad_speculation * shrink,
+        frontend=single_thread.frontend * shrink,
+        backend=single_thread.backend + extra,
+        backend_memory=single_thread.backend_memory + extra,
+        backend_core=single_thread.backend_core,
+        frontend_latency=single_thread.frontend_latency * shrink,
+        frontend_bandwidth=single_thread.frontend_bandwidth * shrink,
+    )

@@ -1,0 +1,195 @@
+"""Task graphs and the list scheduler for thread-scaling simulation.
+
+The paper's §4.6 measures wall-clock speedup of four encoders from 1
+to 8 threads.  Thread scaling of an encoder is a property of its *task
+decomposition* — which units of work exist and which depend on which —
+so the reproduction models each encoder as an explicit task DAG (built
+in :mod:`repro.parallel.models` from the real per-superblock/per-stage
+instruction counts of an instrumented encode) and schedules it on N
+simulated workers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Task:
+    """One schedulable unit of encoder work.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier.
+    duration:
+        Cost in arbitrary work units (we use instruction counts).
+    deps:
+        Names of tasks that must finish first.
+    affinity:
+        Optional worker pinning (models a dedicated master thread).
+    """
+
+    name: str
+    duration: float
+    deps: tuple[str, ...] = ()
+    affinity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"task {self.name}: negative duration")
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a graph on N workers."""
+
+    makespan: float
+    worker_busy: list[float]
+    task_finish: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all task durations."""
+        return sum(self.worker_busy)
+
+    @property
+    def utilisation(self) -> float:
+        """Busy fraction across workers over the makespan."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.total_work / (self.makespan * len(self.worker_busy))
+
+
+class TaskGraph:
+    """A DAG of :class:`Task` objects."""
+
+    def __init__(self, tasks: list[Task]) -> None:
+        self.tasks = {task.name: task for task in tasks}
+        if len(self.tasks) != len(tasks):
+            raise SimulationError("duplicate task names in graph")
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise SimulationError(
+                        f"task {task.name} depends on unknown task {dep}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            if state.get(name) == 1:
+                raise SimulationError(f"task graph has a cycle through {name}")
+            if state.get(name) == 2:
+                return
+            state[name] = 1
+            for dep in self.tasks[name].deps:
+                visit(dep)
+            state[name] = 2
+
+        for name in self.tasks:
+            visit(name)
+
+    @property
+    def total_work(self) -> float:
+        """Serial execution time (1-thread makespan lower bound)."""
+        return sum(task.duration for task in self.tasks.values())
+
+    def critical_path(self) -> float:
+        """Longest dependency chain (infinite-thread makespan)."""
+        memo: dict[str, float] = {}
+
+        def finish(name: str) -> float:
+            if name in memo:
+                return memo[name]
+            task = self.tasks[name]
+            start = max((finish(d) for d in task.deps), default=0.0)
+            memo[name] = start + task.duration
+            return memo[name]
+
+        return max(finish(name) for name in self.tasks) if self.tasks else 0.0
+
+    def schedule(self, workers: int) -> ScheduleResult:
+        """Greedy list-schedule on ``workers`` identical workers.
+
+        Ready tasks are dispatched longest-first (a standard LPT
+        heuristic); pinned tasks wait for their worker.
+        """
+        if workers < 1:
+            raise SimulationError("need at least one worker")
+        indegree = {n: len(t.deps) for n, t in self.tasks.items()}
+        dependants: dict[str, list[str]] = {n: [] for n in self.tasks}
+        for name, task in self.tasks.items():
+            for dep in task.deps:
+                dependants[dep].append(name)
+
+        ready: list[tuple[float, str]] = [
+            (-self.tasks[n].duration, n) for n, d in indegree.items() if d == 0
+        ]
+        heapq.heapify(ready)
+        pinned_ready: dict[int, list[tuple[float, str]]] = {}
+
+        worker_free = [0.0] * workers
+        worker_busy = [0.0] * workers
+        finish_heap: list[tuple[float, int, str]] = []  # (time, worker, task)
+        task_finish: dict[str, float] = {}
+        now = 0.0
+        remaining = len(self.tasks)
+
+        def dispatch() -> None:
+            # Pinned tasks first (they cannot migrate).
+            for worker, queue in list(pinned_ready.items()):
+                while queue and worker_free[worker] <= now:
+                    _, name = heapq.heappop(queue)
+                    task = self.tasks[name]
+                    start = max(now, worker_free[worker])
+                    end = start + task.duration
+                    worker_free[worker] = end
+                    worker_busy[worker] += task.duration
+                    heapq.heappush(finish_heap, (end, worker, name))
+                if not queue:
+                    del pinned_ready[worker]
+            while ready:
+                free_workers = [
+                    w for w in range(workers) if worker_free[w] <= now
+                ]
+                if not free_workers:
+                    break
+                _, name = heapq.heappop(ready)
+                worker = min(free_workers, key=lambda w: worker_free[w])
+                task = self.tasks[name]
+                end = now + task.duration
+                worker_free[worker] = end
+                worker_busy[worker] += task.duration
+                heapq.heappush(finish_heap, (end, worker, name))
+
+        def make_ready(name: str) -> None:
+            task = self.tasks[name]
+            entry = (-task.duration, name)
+            if task.affinity is not None:
+                worker = task.affinity % workers
+                heapq.heappush(pinned_ready.setdefault(worker, []), entry)
+            else:
+                heapq.heappush(ready, entry)
+
+        dispatch()
+        while remaining:
+            if not finish_heap:
+                raise SimulationError("scheduler deadlock (cycle or bad pin)")
+            now, _worker, name = heapq.heappop(finish_heap)
+            task_finish[name] = now
+            remaining -= 1
+            for dependant in dependants[name]:
+                indegree[dependant] -= 1
+                if indegree[dependant] == 0:
+                    make_ready(dependant)
+            dispatch()
+
+        return ScheduleResult(
+            makespan=now, worker_busy=worker_busy, task_finish=task_finish
+        )

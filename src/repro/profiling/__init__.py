@@ -1,0 +1,17 @@
+"""Profiling front-ends: gprof- and perf-style reporting."""
+
+from .gprof import (
+    FlatProfileRow,
+    flat_profile,
+    format_flat_profile,
+    hottest_function,
+)
+from .perf import format_perf_report
+
+__all__ = [
+    "FlatProfileRow",
+    "flat_profile",
+    "format_flat_profile",
+    "format_perf_report",
+    "hottest_function",
+]

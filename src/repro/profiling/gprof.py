@@ -1,0 +1,72 @@
+"""Function-level flat profile (the gprof substitute).
+
+The paper uses GNU gprof to find hot functions and aim the Pin trace
+windows at them (§3.4).  Our instrumentation layer attributes kernel
+charges to the enclosing pipeline function; this module formats that
+attribution as a gprof-style flat profile and answers "which function
+is hot" queries for the trace-extraction workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..trace.instrument import Instrumenter
+
+
+@dataclass(frozen=True)
+class FlatProfileRow:
+    """One row of the flat profile."""
+
+    function: str
+    calls: int
+    instructions: float
+    percent: float
+    cumulative_percent: float
+
+
+def flat_profile(instrumenter: Instrumenter) -> list[FlatProfileRow]:
+    """gprof-style flat profile, hottest first."""
+    if not instrumenter.functions:
+        raise SimulationError("no function attribution recorded")
+    total = sum(p.instructions for p in instrumenter.functions.values())
+    if total <= 0:
+        raise SimulationError("profile contains no attributed work")
+    rows = []
+    cumulative = 0.0
+    ordered = sorted(
+        instrumenter.functions.items(),
+        key=lambda item: -item[1].instructions,
+    )
+    for name, prof in ordered:
+        percent = 100.0 * prof.instructions / total
+        cumulative += percent
+        rows.append(
+            FlatProfileRow(
+                function=name,
+                calls=prof.calls,
+                instructions=prof.instructions,
+                percent=percent,
+                cumulative_percent=cumulative,
+            )
+        )
+    return rows
+
+
+def hottest_function(instrumenter: Instrumenter) -> str:
+    """Name of the function with the most attributed instructions."""
+    return flat_profile(instrumenter)[0].function
+
+
+def format_flat_profile(rows: list[FlatProfileRow]) -> str:
+    """Render rows in gprof's familiar column layout."""
+    lines = [
+        f"{'% time':>7}  {'cumulative':>10}  {'calls':>8}  name",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.percent:7.2f}  {row.cumulative_percent:10.2f}  "
+            f"{row.calls:8d}  {row.function}"
+        )
+    return "\n".join(lines)

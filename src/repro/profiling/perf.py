@@ -1,0 +1,46 @@
+"""perf-stat-style report formatting.
+
+Renders a :class:`~repro.uarch.perfcounters.PerfReport` the way
+``perf stat`` plus the top-down methodology would print it, for the
+examples and the experiment harness's human-readable output.
+"""
+
+from __future__ import annotations
+
+from ..uarch.perfcounters import PerfReport
+
+
+def format_perf_report(report: PerfReport) -> str:
+    """Multi-line ``perf stat``-style rendering of one encode."""
+    td = report.topdown
+    lines = [
+        f"# {report.codec} | {report.video} | crf={report.crf:g} "
+        f"preset={report.preset}",
+        f"{report.instructions:20,.0f}  instructions (native-equivalent)",
+        f"{report.cycles:20,.0f}  cycles",
+        f"{report.ipc:20.2f}  insn per cycle",
+        f"{report.time_seconds:20.1f}  seconds (modelled)",
+        "",
+        "  instruction mix:",
+    ]
+    for name, value in report.mix_percent.items():
+        lines.append(f"    {name:>8}: {value:5.1f} %")
+    lines += [
+        "",
+        f"  branches: miss rate {report.branch.miss_rate * 100:.2f} %, "
+        f"MPKI {report.branch.mpki:.2f}",
+        f"  caches:   L1D {report.cache_mpki['l1d']:.2f} MPKI, "
+        f"L2 {report.cache_mpki['l2']:.2f} MPKI, "
+        f"LLC {report.cache_mpki['llc']:.3f} MPKI",
+        "",
+        "  top-down:",
+        f"    retiring        {td.retiring * 100:5.1f} %",
+        f"    bad speculation {td.bad_speculation * 100:5.1f} %",
+        f"    frontend bound  {td.frontend * 100:5.1f} %",
+        f"    backend bound   {td.backend * 100:5.1f} %"
+        f"  (memory {td.backend_memory * 100:.1f} %, "
+        f"core {td.backend_core * 100:.1f} %)",
+        "",
+        f"  output: {report.bitrate_kbps:.0f} kbps, {report.psnr_db:.2f} dB PSNR",
+    ]
+    return "\n".join(lines)

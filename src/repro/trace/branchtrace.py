@@ -1,0 +1,131 @@
+"""CBP-style branch trace container and on-disk format.
+
+The paper feeds branch traces — captured with Pin from a 1-billion-
+instruction interval of each encode — to the CBP-2016 simulator.  This
+module defines the equivalent artifact for our pipeline: an ordered
+sequence of conditional-branch events plus the metadata the harness
+needs to report MPKI (the instruction count of the traced window).
+
+Traces can be serialised to a compact binary format (8-byte PC + 1-byte
+outcome per record, zlib-compressed) so benchmark runs can reuse traces
+across predictor configurations without re-encoding.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import TraceError
+from .instruction import BranchEvent
+
+_MAGIC = b"RBT1"
+_HEADER = struct.Struct("<4sQQd")
+_RECORD = struct.Struct("<qB")
+
+
+@dataclass
+class BranchTrace:
+    """A bounded window of conditional-branch events.
+
+    Parameters
+    ----------
+    events:
+        Branch events in program order.
+    window_instructions:
+        Dynamic instructions executed over the traced window (the
+        divisor for MPKI).
+    name:
+        Workload identifier (e.g. ``"game1@crf63,p8"``).
+    """
+
+    events: list[BranchEvent]
+    window_instructions: float
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.window_instructions <= 0:
+            raise TraceError("traced window must cover > 0 instructions")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[BranchEvent]:
+        return iter(self.events)
+
+    @property
+    def num_branches(self) -> int:
+        """Number of conditional branches in the window."""
+        return len(self.events)
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of branches taken (0 for an empty trace)."""
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.taken) / len(self.events)
+
+    @property
+    def num_static_sites(self) -> int:
+        """Number of distinct static branch PCs in the window."""
+        return len({e.pc for e in self.events})
+
+    def mpki_of(self, mispredicts: int) -> float:
+        """Convert a mispredict count into misses/kilo-instruction."""
+        return mispredicts / (self.window_instructions / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def dump(self, path: str | os.PathLike[str]) -> None:
+        """Write the trace to ``path`` in the compact binary format."""
+        body = io.BytesIO()
+        for event in self.events:
+            body.write(_RECORD.pack(event.pc, 1 if event.taken else 0))
+        payload = zlib.compress(body.getvalue(), level=6)
+        name_bytes = self.name.encode()
+        with open(path, "wb") as fh:
+            fh.write(
+                _HEADER.pack(
+                    _MAGIC,
+                    len(self.events),
+                    len(name_bytes),
+                    self.window_instructions,
+                )
+            )
+            fh.write(name_bytes)
+            fh.write(payload)
+
+    @classmethod
+    def loads(cls, path: str | os.PathLike[str]) -> "BranchTrace":
+        """Read a trace previously written with :meth:`dump`."""
+        with open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise TraceError(f"{path}: truncated trace header")
+            magic, count, name_len, window = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise TraceError(f"{path}: not a branch trace (magic {magic!r})")
+            name = fh.read(name_len).decode()
+            raw = zlib.decompress(fh.read())
+        if len(raw) != count * _RECORD.size:
+            raise TraceError(f"{path}: trace body length mismatch")
+        events = [
+            BranchEvent(pc=pc, taken=bool(taken))
+            for pc, taken in _RECORD.iter_unpack(raw)
+        ]
+        return cls(events=events, window_instructions=window, name=name)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[BranchEvent],
+        window_instructions: float,
+        name: str = "trace",
+    ) -> "BranchTrace":
+        """Build a trace from any iterable of events."""
+        return cls(list(events), window_instructions, name)

@@ -1,0 +1,70 @@
+"""Microarchitecture simulators: caches, branch predictors, core model.
+
+This package is the reproduction's stand-in for the paper's perf-based
+measurement stack (DESIGN.md §2): a set-associative cache hierarchy, a
+family of branch predictors, and an interval-analysis out-of-order
+core model that produces top-down slot shares, IPC, resource stalls
+and execution time.
+"""
+
+from . import branch
+from .cache import (
+    XEON_L1D,
+    XEON_L2,
+    XEON_LLC,
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyStats,
+    expand_touches,
+    simulate_encode_traffic,
+)
+from .machine import XEON_E5_2650_V4, MachineConfig
+from .prefetch import (
+    NextLinePrefetcher,
+    PrefetchStats,
+    StridePrefetcher,
+    prefetcher_ablation,
+    simulate_with_prefetcher,
+)
+from .roofline import RooflinePoint, encode_roofline, roofline_point
+from .perfcounters import BranchReport, PerfReport, collect
+from .pipeline import (
+    CoreModelInput,
+    CoreModelResult,
+    ResourceStalls,
+    run_core_model,
+)
+from .topdown import TopDown, classify_slots
+
+__all__ = [
+    "BranchReport",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CoreModelInput",
+    "CoreModelResult",
+    "HierarchyStats",
+    "MachineConfig",
+    "NextLinePrefetcher",
+    "PrefetchStats",
+    "PerfReport",
+    "ResourceStalls",
+    "RooflinePoint",
+    "StridePrefetcher",
+    "TopDown",
+    "XEON_E5_2650_V4",
+    "XEON_L1D",
+    "XEON_L2",
+    "XEON_LLC",
+    "branch",
+    "classify_slots",
+    "collect",
+    "encode_roofline",
+    "expand_touches",
+    "prefetcher_ablation",
+    "roofline_point",
+    "run_core_model",
+    "simulate_with_prefetcher",
+    "simulate_encode_traffic",
+]

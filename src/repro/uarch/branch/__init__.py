@@ -1,0 +1,40 @@
+"""Branch predictor simulators for the CBP harness and core model."""
+
+from .base import BranchPredictor, PredictorResult, run_trace
+from .bimodal import BimodalPredictor
+from .btb import BranchTargetBuffer, BtbResult, run_btb
+from .gshare import GsharePredictor, gshare_2kb, gshare_32kb
+from .loopmodel import LoopModelResult, model_loops
+from .perceptron import PerceptronPredictor
+from .tage import TagePredictor, TageTableConfig, tage_8kb, tage_64kb
+from .tournament import TournamentPredictor
+
+#: The four configurations the paper's Figs. 8-10 evaluate.
+PAPER_PREDICTORS = {
+    "gshare-2KB": gshare_2kb,
+    "gshare-32KB": gshare_32kb,
+    "tage-8KB": tage_8kb,
+    "tage-64KB": tage_64kb,
+}
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "BtbResult",
+    "GsharePredictor",
+    "LoopModelResult",
+    "PAPER_PREDICTORS",
+    "PerceptronPredictor",
+    "PredictorResult",
+    "TagePredictor",
+    "TageTableConfig",
+    "TournamentPredictor",
+    "gshare_2kb",
+    "gshare_32kb",
+    "model_loops",
+    "run_btb",
+    "run_trace",
+    "tage_64kb",
+    "tage_8kb",
+]

@@ -1,0 +1,83 @@
+"""Branch predictor interface and evaluation loop.
+
+All predictors implement the CBP-2016 contract: ``predict(pc)`` then
+``update(pc, taken)`` for every conditional branch in trace order.
+``storage_bits`` reports the predictor's state budget, which the
+championship rules bound (the paper compares 2 KB/32 KB Gshare with
+8 KB/64 KB TAGE configurations).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ...errors import SimulationError
+from ...trace.branchtrace import BranchTrace
+
+
+class BranchPredictor(abc.ABC):
+    """One conditional-branch direction predictor."""
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome."""
+
+    @property
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total predictor state in bits."""
+
+    @property
+    def storage_kib(self) -> float:
+        """Storage in KiB (CBP reporting convention)."""
+        return self.storage_bits / 8192.0
+
+
+@dataclass(frozen=True)
+class PredictorResult:
+    """Outcome of replaying one trace through one predictor."""
+
+    predictor: str
+    trace: str
+    branches: int
+    mispredicts: int
+    window_instructions: float
+
+    @property
+    def miss_rate(self) -> float:
+        """Mispredictions per branch."""
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo-instruction of the traced window."""
+        return self.mispredicts / (self.window_instructions / 1000.0)
+
+
+def run_trace(
+    predictor: BranchPredictor, trace: BranchTrace
+) -> PredictorResult:
+    """Replay ``trace`` through ``predictor`` (predict-then-update)."""
+    if not trace.events:
+        raise SimulationError(f"trace {trace.name!r} is empty")
+    mispredicts = 0
+    predict = predictor.predict
+    update = predictor.update
+    for event in trace.events:
+        if predict(event.pc) != event.taken:
+            mispredicts += 1
+        update(event.pc, event.taken)
+    return PredictorResult(
+        predictor=predictor.name,
+        trace=trace.name,
+        branches=len(trace.events),
+        mispredicts=mispredicts,
+        window_instructions=trace.window_instructions,
+    )

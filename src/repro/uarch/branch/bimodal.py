@@ -1,0 +1,45 @@
+"""Bimodal (per-PC 2-bit counter) predictor — the simplest baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SimulationError
+from .base import BranchPredictor
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of saturating 2-bit counters indexed by PC.
+
+    Parameters
+    ----------
+    size_bytes:
+        Storage budget; each entry is 2 bits.
+    """
+
+    def __init__(self, size_bytes: int = 2048) -> None:
+        if size_bytes <= 0 or size_bytes & (size_bytes - 1):
+            raise SimulationError("bimodal size must be a power of two")
+        self._entries = size_bytes * 4  # 2 bits each
+        self._mask = self._entries - 1
+        self._table = np.full(self._entries, 2, dtype=np.int8)  # weak taken
+        self.name = f"bimodal-{size_bytes // 1024}KB"
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+    @property
+    def storage_bits(self) -> int:
+        return self._entries * 2

@@ -1,0 +1,82 @@
+"""Gshare predictor (McFarling 1993) — the paper's baseline scheme.
+
+A single table of 2-bit counters indexed by the XOR of the branch PC
+and a global history register.  The paper evaluates 2 KB and 32 KB
+configurations (§4.4); :func:`gshare_2kb` and :func:`gshare_32kb`
+construct exactly those.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SimulationError
+from .base import BranchPredictor
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history-XOR-PC indexed 2-bit counter table.
+
+    Parameters
+    ----------
+    size_bytes:
+        Table budget (2-bit entries); must be a power of two.
+    history_bits:
+        Global history length; defaults to the index width capped at
+        12 bits.
+    """
+
+    def __init__(self, size_bytes: int = 2048, history_bits: int | None = None) -> None:
+        if size_bytes <= 0 or size_bytes & (size_bytes - 1):
+            raise SimulationError("gshare size must be a power of two")
+        self._entries = size_bytes * 4
+        self._index_bits = self._entries.bit_length() - 1
+        self._mask = self._entries - 1
+        if history_bits is None:
+            # History longer than ~12 bits fragments contexts faster
+            # than it adds correlation on these workloads (and is the
+            # common sweet spot in the literature); the table's index
+            # width still grows with size, cutting aliasing.
+            history_bits = min(self._index_bits, 12)
+        if not 1 <= history_bits <= 32:
+            raise SimulationError("history_bits must be in [1, 32]")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = np.full(self._entries, 2, dtype=np.int8)
+        self.name = f"gshare-{size_bytes // 1024}KB"
+
+    @property
+    def history_bits(self) -> int:
+        """Global history length in bits."""
+        return self._history_bits
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    @property
+    def storage_bits(self) -> int:
+        return self._entries * 2 + self._history_bits
+
+
+def gshare_2kb() -> GsharePredictor:
+    """The paper's small Gshare configuration."""
+    return GsharePredictor(size_bytes=2048)
+
+
+def gshare_32kb() -> GsharePredictor:
+    """The paper's large Gshare configuration."""
+    return GsharePredictor(size_bytes=32 * 1024)

@@ -1,0 +1,63 @@
+"""Perceptron predictor (Jiménez & Lin) — extension beyond the paper.
+
+Included as the "other complicated scheme" ablation: a table of signed
+weight vectors dotted with global history.  Useful for showing that
+TAGE's advantage on encoder traces is not unique to tagged geometric
+histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SimulationError
+from .base import BranchPredictor
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron with saturating 8-bit weights.
+
+    Parameters
+    ----------
+    num_perceptrons:
+        Weight-vector table size (power of two).
+    history_bits:
+        History length = weights per vector (plus bias).
+    """
+
+    def __init__(self, num_perceptrons: int = 512, history_bits: int = 24) -> None:
+        if num_perceptrons & (num_perceptrons - 1):
+            raise SimulationError("perceptron count must be a power of two")
+        if not 1 <= history_bits <= 64:
+            raise SimulationError("history_bits must be in [1, 64]")
+        self._mask = num_perceptrons - 1
+        self._weights = np.zeros(
+            (num_perceptrons, history_bits + 1), dtype=np.int16
+        )
+        self._history = np.ones(history_bits, dtype=np.int16)  # +-1 encoding
+        self._threshold = int(1.93 * history_bits + 14)  # Jimenez's theta
+        self._last_output = 0
+        self.name = f"perceptron-{num_perceptrons}x{history_bits}"
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        weights = self._weights[self._index(pc)]
+        self._last_output = int(weights[0]) + int(weights[1:] @ self._history)
+        return self._last_output >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        target = 1 if taken else -1
+        predicted_taken = self._last_output >= 0
+        if predicted_taken != taken or abs(self._last_output) <= self._threshold:
+            weights = self._weights[self._index(pc)]
+            weights[0] = np.clip(weights[0] + target, -128, 127)
+            updated = weights[1:] + target * self._history
+            weights[1:] = np.clip(updated, -128, 127)
+        self._history[1:] = self._history[:-1]
+        self._history[0] = target
+
+    @property
+    def storage_bits(self) -> int:
+        return self._weights.size * 8 + len(self._history)

@@ -1,0 +1,63 @@
+"""Tournament (McFarling combining) predictor — extension ablation.
+
+Chooses per-branch between a bimodal and a Gshare component with a
+2-bit chooser table, the second half of McFarling's combining-
+predictors proposal the paper's Gshare baseline comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SimulationError
+from .base import BranchPredictor
+from .bimodal import BimodalPredictor
+from .gshare import GsharePredictor
+
+
+class TournamentPredictor(BranchPredictor):
+    """Bimodal + Gshare with a chooser."""
+
+    def __init__(self, size_bytes: int = 8192) -> None:
+        if size_bytes < 1024 or size_bytes & (size_bytes - 1):
+            raise SimulationError(
+                "tournament size must be a power of two >= 1024"
+            )
+        component = size_bytes // 4
+        self._bimodal = BimodalPredictor(component)
+        self._gshare = GsharePredictor(component * 2)
+        chooser_entries = component * 4
+        self._chooser = np.full(chooser_entries, 2, dtype=np.int8)
+        self._chooser_mask = chooser_entries - 1
+        self.name = f"tournament-{size_bytes // 1024}KB"
+        self._last: tuple[bool, bool] | None = None
+
+    def predict(self, pc: int) -> bool:
+        bimodal = self._bimodal.predict(pc)
+        gshare = self._gshare.predict(pc)
+        self._last = (bimodal, gshare)
+        use_gshare = self._chooser[(pc >> 2) & self._chooser_mask] >= 2
+        return gshare if use_gshare else bimodal
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self._last is None:  # predict() not called; still legal to train
+            self._last = (self._bimodal.predict(pc), self._gshare.predict(pc))
+        bimodal, gshare = self._last
+        index = (pc >> 2) & self._chooser_mask
+        if bimodal != gshare:
+            counter = self._chooser[index]
+            if gshare == taken and counter < 3:
+                self._chooser[index] = counter + 1
+            elif bimodal == taken and counter > 0:
+                self._chooser[index] = counter - 1
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+        self._last = None
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._bimodal.storage_bits
+            + self._gshare.storage_bits
+            + len(self._chooser) * 2
+        )

@@ -1,0 +1,71 @@
+"""Machine configuration: the paper's Xeon E5-2650 v4 (Broadwell).
+
+All latencies/penalties are the published Broadwell numbers (Agner Fog
+tables / Intel optimisation manual ranges); the top-down model in
+:mod:`repro.uarch.pipeline` consumes this description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .branch.gshare import GsharePredictor
+from .cache import XEON_L1D, XEON_L2, XEON_LLC, CacheConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """An out-of-order core + memory hierarchy description.
+
+    Parameters mirror the paper's testbed (§3.1): 12-core Broadwell at
+    2.8 GHz (the paper's figure-2 footnote pins max IPC at 4, i.e. a
+    4-wide pipeline).
+    """
+
+    name: str = "xeon-e5-2650v4"
+    frequency_hz: float = 2.8e9
+    pipeline_width: int = 4
+    rob_entries: int = 192
+    rs_entries: int = 60
+    load_queue: int = 72
+    store_queue: int = 42
+    physical_cores: int = 12
+
+    #: Average uops per instruction (x86 cracking + fusion net effect).
+    uops_per_instruction: float = 1.08
+
+    #: Branch mispredict resteer penalty (cycles).
+    mispredict_penalty: float = 20.0
+
+    #: Additional latency of each hierarchy level over the one above.
+    l2_latency: float = 12.0
+    llc_latency: float = 28.0
+    memory_latency: float = 130.0
+
+    #: Effective memory-level parallelism of streaming encoder kernels.
+    mlp: float = 4.0
+
+    #: Fetch bandwidth in bytes per cycle.
+    fetch_bytes_per_cycle: float = 16.0
+
+    #: Execution-port throughput (uops/cycle) for vector vs scalar ops.
+    vector_ports: float = 2.0
+    scalar_ports: float = 3.0
+
+    l1d: CacheConfig = XEON_L1D
+    l2: CacheConfig = XEON_L2
+    llc: CacheConfig = XEON_LLC
+
+    #: Storage budget of the core's own branch predictor model.  The
+    #: Broadwell predictor is proprietary; a large Gshare plus the
+    #: analytic loop model is our stand-in (DESIGN.md §2), which the
+    #: CBP experiments then compare against explicit alternatives.
+    core_predictor_bytes: int = 64 * 1024
+
+    def make_core_predictor(self) -> GsharePredictor:
+        """Fresh instance of the modelled core branch predictor."""
+        return GsharePredictor(size_bytes=self.core_predictor_bytes)
+
+
+#: Default machine used by every experiment.
+XEON_E5_2650_V4 = MachineConfig()

@@ -1,0 +1,99 @@
+"""Roofline model (Williams/Waterman/Patterson).
+
+The paper's §4.3 explains its memory-boundedness trends with the
+roofline argument: raising CRF removes computation while the data
+traffic stays pixel-proportional, so *operational intensity* falls and
+the workload slides toward the memory-bound region.  This module makes
+that argument quantitative for any instrumented encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codecs.base import EncodeResult
+from ..errors import SimulationError
+from .machine import XEON_E5_2650_V4, MachineConfig
+
+#: Measured-ish Broadwell per-core bandwidth to LLC/DRAM (bytes/s).
+DEFAULT_MEMORY_BANDWIDTH = 12e9
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position under the roofline.
+
+    Parameters
+    ----------
+    operational_intensity:
+        Instructions executed per byte of memory traffic (the paper's
+        §4.3 uses ops/byte; instructions are our op proxy).
+    performance:
+        Attainable instructions/second at this intensity.
+    ridge_intensity:
+        Intensity at which the compute roof meets the bandwidth roof.
+    """
+
+    operational_intensity: float
+    performance: float
+    ridge_intensity: float
+    compute_roof: float
+    bandwidth: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the workload sits left of the ridge."""
+        return self.operational_intensity < self.ridge_intensity
+
+    @property
+    def roof_fraction(self) -> float:
+        """Attained share of the compute roof."""
+        return self.performance / self.compute_roof
+
+
+def roofline_point(
+    instructions: float,
+    bytes_moved: float,
+    machine: MachineConfig = XEON_E5_2650_V4,
+    ipc: float = 2.0,
+    bandwidth: float = DEFAULT_MEMORY_BANDWIDTH,
+) -> RooflinePoint:
+    """Place a workload region under the machine's roofline.
+
+    The compute roof is ``ipc_max x frequency``; attainable performance
+    is ``min(compute roof, intensity x bandwidth)``.
+    """
+    if instructions <= 0 or bytes_moved <= 0:
+        raise SimulationError("instructions and bytes must be positive")
+    intensity = instructions / bytes_moved
+    compute_roof = machine.pipeline_width * machine.frequency_hz
+    ridge = compute_roof / bandwidth
+    performance = min(compute_roof, intensity * bandwidth)
+    return RooflinePoint(
+        operational_intensity=intensity,
+        performance=performance,
+        ridge_intensity=ridge,
+        compute_roof=compute_roof,
+        bandwidth=bandwidth,
+    )
+
+
+def encode_roofline(
+    result: EncodeResult,
+    machine: MachineConfig = XEON_E5_2650_V4,
+    bandwidth: float = DEFAULT_MEMORY_BANDWIDTH,
+) -> RooflinePoint:
+    """Roofline position of one instrumented encode.
+
+    Traffic is the instrumenter's total touched bytes (reads + writes),
+    i.e. the paper's "amount of data movement [that] stays the same" as
+    CRF rises.
+    """
+    inst = result.instrumenter
+    bytes_moved = inst.bytes_read + inst.bytes_written
+    return roofline_point(
+        instructions=inst.total_instructions,
+        bytes_moved=bytes_moved,
+        machine=machine,
+        bandwidth=bandwidth,
+    )

@@ -1,0 +1,89 @@
+"""Top-down pipeline-slot classification (Yasin 2014).
+
+The paper's primary analysis lens: every issue slot of every cycle is
+either *retiring*, wasted to *bad speculation*, starved by the
+*frontend*, or backed up by the *backend*.  This module defines the
+slot-accounting container; :mod:`repro.uarch.pipeline` computes the
+inputs from simulated events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TopDown:
+    """Slot shares, summing to 1.
+
+    ``backend_memory``/``backend_core`` decompose ``backend`` as in the
+    paper's §4.3; ``frontend_latency``/``frontend_bandwidth`` decompose
+    ``frontend``.
+    """
+
+    retiring: float
+    bad_speculation: float
+    frontend: float
+    backend: float
+    backend_memory: float = 0.0
+    backend_core: float = 0.0
+    frontend_latency: float = 0.0
+    frontend_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.retiring + self.bad_speculation + self.frontend + self.backend
+        if not 0.999 <= total <= 1.001:
+            raise SimulationError(
+                f"top-down shares must sum to 1, got {total:.4f}"
+            )
+        for name in ("retiring", "bad_speculation", "frontend", "backend"):
+            value = getattr(self, name)
+            if not -1e-9 <= value <= 1.0 + 1e-9:
+                raise SimulationError(f"{name} share {value} outside [0, 1]")
+
+    @property
+    def wasted(self) -> float:
+        """Share of slots not retiring (the paper's 40-50% headline)."""
+        return 1.0 - self.retiring
+
+    def as_dict(self) -> dict[str, float]:
+        """Four-category view in the paper's plotting order."""
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend": self.frontend,
+            "backend": self.backend,
+        }
+
+
+def classify_slots(
+    retire_cycles: float,
+    bad_spec_cycles: float,
+    frontend_cycles: float,
+    backend_memory_cycles: float,
+    backend_core_cycles: float,
+    frontend_latency_share: float = 0.7,
+) -> TopDown:
+    """Build a :class:`TopDown` from per-category cycle costs.
+
+    Each category's slot share is its cycle cost over total cycles
+    (width cancels since every cycle contributes ``width`` slots).
+    """
+    backend_cycles = backend_memory_cycles + backend_core_cycles
+    total = retire_cycles + bad_spec_cycles + frontend_cycles + backend_cycles
+    if total <= 0:
+        raise SimulationError("total cycles must be positive")
+    frontend = frontend_cycles / total
+    backend = backend_cycles / total
+    return TopDown(
+        retiring=retire_cycles / total,
+        bad_speculation=bad_spec_cycles / total,
+        frontend=frontend,
+        backend=backend,
+        backend_memory=backend_memory_cycles / total,
+        backend_core=backend_core_cycles / total,
+        frontend_latency=frontend * frontend_latency_share,
+        frontend_bandwidth=frontend * (1.0 - frontend_latency_share),
+    )

@@ -1,0 +1,46 @@
+"""Video substrate: frames, synthetic content, vbench catalog, metrics.
+
+This package stands in for the raw-video side of the paper's testbed:
+the vbench clip suite (Table 1), the Y4M container the encoders read,
+and the quality/size metrics (§2.1) used throughout the evaluation.
+"""
+
+from .bdrate import RatePoint, bd_psnr, bd_rate
+from .frame import Frame, Plane, Video
+from .io import read_y4m, write_y4m
+from .metrics import (
+    bitrate_kbps,
+    frame_psnr,
+    psnr,
+    sequence_psnr,
+    sequence_ssim,
+    ssim,
+)
+from .synthetic import ContentSpec, generate, measured_entropy
+from .vbench import CATALOG, VbenchEntry, entry, load, names, table1_rows
+
+__all__ = [
+    "CATALOG",
+    "ContentSpec",
+    "Frame",
+    "Plane",
+    "RatePoint",
+    "VbenchEntry",
+    "Video",
+    "bd_psnr",
+    "bd_rate",
+    "bitrate_kbps",
+    "entry",
+    "frame_psnr",
+    "generate",
+    "load",
+    "measured_entropy",
+    "names",
+    "psnr",
+    "read_y4m",
+    "sequence_psnr",
+    "sequence_ssim",
+    "ssim",
+    "table1_rows",
+    "write_y4m",
+]

@@ -1,0 +1,222 @@
+"""YUV 4:2:0 frame and plane containers.
+
+The encoders in :mod:`repro.codecs` operate on 8-bit YUV 4:2:0 video,
+the format used by every clip in vbench.  A :class:`Frame` owns three
+:class:`Plane` objects (luma plus two half-resolution chroma planes) and
+enforces the geometric invariants (even dimensions, matching chroma
+sizes) that block-based encoders rely on.
+
+Planes are stored as ``numpy.uint8`` arrays.  Arithmetic in the codec
+layer widens to wider integer types explicitly; keeping storage at 8
+bits mirrors the memory traffic of a production encoder, which the
+cache-simulation layer depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import VideoError
+
+#: Luma sample range for 8-bit video.
+MAX_SAMPLE = 255
+
+
+@dataclass(frozen=True)
+class Plane:
+    """A single 8-bit sample plane.
+
+    Parameters
+    ----------
+    data:
+        Two-dimensional ``uint8`` array of samples, indexed ``[row, col]``.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 2:
+            raise VideoError(f"plane must be 2-D, got shape {self.data.shape}")
+        if self.data.dtype != np.uint8:
+            raise VideoError(f"plane dtype must be uint8, got {self.data.dtype}")
+
+    @property
+    def height(self) -> int:
+        """Number of sample rows."""
+        return int(self.data.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of sample columns."""
+        return int(self.data.shape[1])
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the plane in bytes (one byte per sample)."""
+        return self.height * self.width
+
+    def block(self, row: int, col: int, height: int, width: int) -> np.ndarray:
+        """Return the ``height x width`` block anchored at ``(row, col)``.
+
+        Blocks that overhang the right or bottom edge are padded by
+        replicating the last row/column, matching the edge-extension
+        behaviour of real encoders.
+        """
+        if row < 0 or col < 0:
+            raise VideoError(f"negative block origin ({row}, {col})")
+        if row >= self.height or col >= self.width:
+            raise VideoError(
+                f"block origin ({row}, {col}) outside plane "
+                f"{self.height}x{self.width}"
+            )
+        avail_h = min(height, self.height - row)
+        avail_w = min(width, self.width - col)
+        blk = self.data[row : row + avail_h, col : col + avail_w]
+        if avail_h == height and avail_w == width:
+            return blk
+        return np.pad(
+            blk, ((0, height - avail_h), (0, width - avail_w)), mode="edge"
+        )
+
+
+class Frame:
+    """One YUV 4:2:0 picture.
+
+    Parameters
+    ----------
+    y, u, v:
+        Luma and chroma sample arrays.  Chroma planes must be exactly
+        half the luma resolution in both dimensions.
+    index:
+        Display order of the frame within its sequence.
+    """
+
+    def __init__(
+        self,
+        y: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        index: int = 0,
+    ) -> None:
+        self.y = Plane(np.ascontiguousarray(y, dtype=np.uint8))
+        self.u = Plane(np.ascontiguousarray(u, dtype=np.uint8))
+        self.v = Plane(np.ascontiguousarray(v, dtype=np.uint8))
+        self.index = index
+        if self.y.height % 2 or self.y.width % 2:
+            raise VideoError(
+                f"luma dimensions must be even for 4:2:0, got "
+                f"{self.y.height}x{self.y.width}"
+            )
+        expect = (self.y.height // 2, self.y.width // 2)
+        for name, plane in (("u", self.u), ("v", self.v)):
+            if (plane.height, plane.width) != expect:
+                raise VideoError(
+                    f"chroma plane {name} is {plane.height}x{plane.width}, "
+                    f"expected {expect[0]}x{expect[1]}"
+                )
+
+    @property
+    def height(self) -> int:
+        """Luma height in samples."""
+        return self.y.height
+
+    @property
+    def width(self) -> int:
+        """Luma width in samples."""
+        return self.y.width
+
+    @property
+    def size_bytes(self) -> int:
+        """Total frame footprint (Y + U + V) in bytes."""
+        return self.y.size_bytes + self.u.size_bytes + self.v.size_bytes
+
+    def planes(self) -> Iterator[Plane]:
+        """Yield the Y, U and V planes in that order."""
+        yield self.y
+        yield self.u
+        yield self.v
+
+    def copy(self) -> "Frame":
+        """Deep-copy the frame (new sample storage)."""
+        return Frame(
+            self.y.data.copy(), self.u.data.copy(), self.v.data.copy(), self.index
+        )
+
+    @classmethod
+    def blank(cls, width: int, height: int, value: int = 128, index: int = 0) -> "Frame":
+        """Create a uniform frame (default mid-grey)."""
+        if not 0 <= value <= MAX_SAMPLE:
+            raise VideoError(f"sample value {value} outside [0, {MAX_SAMPLE}]")
+        y = np.full((height, width), value, dtype=np.uint8)
+        c = np.full((height // 2, width // 2), 128, dtype=np.uint8)
+        return cls(y, c, c.copy(), index=index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame(#{self.index}, {self.width}x{self.height})"
+
+
+class Video:
+    """An ordered sequence of equally-sized frames plus timing metadata.
+
+    Parameters
+    ----------
+    frames:
+        Display-order frame list; all frames must share one geometry.
+    fps:
+        Frame rate used for bitrate computation (frames per second).
+    name:
+        Human-readable identifier (e.g. the vbench clip name).
+    """
+
+    def __init__(self, frames: list[Frame], fps: float, name: str = "video") -> None:
+        if not frames:
+            raise VideoError("video must contain at least one frame")
+        if fps <= 0:
+            raise VideoError(f"fps must be positive, got {fps}")
+        geom = (frames[0].width, frames[0].height)
+        for frame in frames:
+            if (frame.width, frame.height) != geom:
+                raise VideoError("all frames in a video must share one geometry")
+        self.frames = frames
+        self.fps = float(fps)
+        self.name = name
+
+    @property
+    def width(self) -> int:
+        """Luma width shared by all frames."""
+        return self.frames[0].width
+
+    @property
+    def height(self) -> int:
+        """Luma height shared by all frames."""
+        return self.frames[0].height
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in display order."""
+        return len(self.frames)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Playback duration implied by the frame count and rate."""
+        return self.num_frames / self.fps
+
+    @property
+    def raw_size_bytes(self) -> int:
+        """Uncompressed size of the whole sequence."""
+        return sum(f.size_bytes for f in self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Video({self.name!r}, {self.width}x{self.height}, "
+            f"{self.num_frames} frames @ {self.fps:g} fps)"
+        )

@@ -1,0 +1,104 @@
+"""Y4M (YUV4MPEG2) reader and writer.
+
+Y4M is the uncompressed container vbench ships its clips in and the
+input format all five studied encoders consume.  Supporting it lets
+users of this library run the characterization pipeline on their own
+clips, not just the synthetic proxies.
+
+Only the subset of the format the encoders need is implemented:
+8-bit 4:2:0 (``C420``/``C420jpeg``/``C420mpeg2``), progressive frames.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from fractions import Fraction
+
+import numpy as np
+
+from ..errors import VideoError
+from .frame import Frame, Video
+
+_MAGIC = b"YUV4MPEG2"
+_SUPPORTED_CHROMA = {"420", "420jpeg", "420mpeg2", "420paldv"}
+
+
+def _parse_header(line: bytes) -> tuple[int, int, float]:
+    """Parse a stream header line into (width, height, fps)."""
+    fields = line.decode("ascii", errors="replace").strip().split(" ")
+    if not fields or fields[0] != _MAGIC.decode():
+        raise VideoError(f"not a Y4M stream (header {line[:20]!r})")
+    width = height = 0
+    fps = 0.0
+    for field in fields[1:]:
+        if not field:
+            continue
+        tag, value = field[0], field[1:]
+        if tag == "W":
+            width = int(value)
+        elif tag == "H":
+            height = int(value)
+        elif tag == "F":
+            num, _, den = value.partition(":")
+            fps = float(Fraction(int(num), int(den or "1")))
+        elif tag == "C":
+            if value not in _SUPPORTED_CHROMA:
+                raise VideoError(f"unsupported Y4M chroma sampling C{value}")
+        elif tag == "I":
+            if value not in ("p", "?"):
+                raise VideoError(f"only progressive Y4M supported, got I{value}")
+    if width <= 0 or height <= 0:
+        raise VideoError("Y4M header missing W/H")
+    if fps <= 0:
+        fps = 30.0
+    return width, height, fps
+
+
+def read_y4m(path: str | os.PathLike[str]) -> Video:
+    """Read a Y4M file into a :class:`~repro.video.frame.Video`."""
+    with open(path, "rb") as fh:
+        return _read_stream(fh, name=os.path.basename(os.fspath(path)))
+
+
+def _read_stream(fh: io.BufferedIOBase, name: str) -> Video:
+    header = fh.readline()
+    width, height, fps = _parse_header(header)
+    y_size = width * height
+    c_size = (width // 2) * (height // 2)
+    frames: list[Frame] = []
+    index = 0
+    while True:
+        marker = fh.readline()
+        if not marker:
+            break
+        if not marker.startswith(b"FRAME"):
+            raise VideoError(f"expected FRAME marker, got {marker[:20]!r}")
+        raw = fh.read(y_size + 2 * c_size)
+        if len(raw) != y_size + 2 * c_size:
+            raise VideoError(f"truncated frame {index} in Y4M stream")
+        buf = np.frombuffer(raw, dtype=np.uint8)
+        y = buf[:y_size].reshape(height, width)
+        u = buf[y_size : y_size + c_size].reshape(height // 2, width // 2)
+        v = buf[y_size + c_size :].reshape(height // 2, width // 2)
+        frames.append(Frame(y.copy(), u.copy(), v.copy(), index=index))
+        index += 1
+    if not frames:
+        raise VideoError("Y4M stream contains no frames")
+    return Video(frames, fps=fps, name=name)
+
+
+def write_y4m(video: Video, path: str | os.PathLike[str]) -> None:
+    """Write a :class:`~repro.video.frame.Video` as 8-bit 4:2:0 Y4M."""
+    fps = Fraction(video.fps).limit_denominator(1001 * 60)
+    header = (
+        f"YUV4MPEG2 W{video.width} H{video.height} "
+        f"F{fps.numerator}:{fps.denominator} Ip A1:1 C420\n"
+    )
+    with open(path, "wb") as fh:
+        fh.write(header.encode("ascii"))
+        for frame in video:
+            fh.write(b"FRAME\n")
+            fh.write(frame.y.data.tobytes())
+            fh.write(frame.u.data.tobytes())
+            fh.write(frame.v.data.tobytes())

@@ -1,0 +1,59 @@
+"""The public API surface: everything advertised must be importable
+and every ``__all__`` name must resolve."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.video",
+    "repro.codecs",
+    "repro.codecs.entropy",
+    "repro.trace",
+    "repro.uarch",
+    "repro.uarch.branch",
+    "repro.cbp",
+    "repro.parallel",
+    "repro.profiling",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    for cls in (errors.VideoError, errors.CodecError, errors.TraceError,
+                errors.SimulationError, errors.ExperimentError):
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_paper_entry_points_exist():
+    """The names the README promises."""
+    from repro.cbp import capture_trace, run_championship  # noqa: F401
+    from repro.codecs import create_encoder  # noqa: F401
+    from repro.core import characterize, format_result  # noqa: F401
+    from repro.experiments import run_experiment  # noqa: F401
+    from repro.parallel import thread_scaling  # noqa: F401
+    from repro.video import vbench  # noqa: F401

@@ -1,0 +1,78 @@
+"""Tests for the CBP harness and trace capture."""
+
+import pytest
+
+from repro.cbp import capture_trace, format_scoreboard, run_championship
+from repro.errors import SimulationError
+from repro.trace.branchtrace import BranchTrace
+from repro.trace.instruction import BranchEvent
+from repro.uarch.branch import gshare_2kb
+from repro.video.synthetic import ContentSpec, generate
+
+
+@pytest.fixture(scope="module")
+def traces():
+    video = generate(
+        ContentSpec(name="cbp", width=80, height=48, fps=30,
+                    num_frames=4, entropy=4.0, style="game")
+    )
+    return [
+        capture_trace(video, crf=60, preset=4, fraction=1.0, max_events=8000),
+        capture_trace(video, crf=10, preset=4, fraction=1.0, max_events=8000),
+    ]
+
+
+class TestCaptureTrace:
+    def test_captures_nonempty(self, traces):
+        for trace in traces:
+            assert len(trace) > 500
+            assert trace.window_instructions > 0
+
+    def test_name_encodes_config(self, traces):
+        assert "crf60" in traces[0].name
+        assert "p4" in traces[0].name
+
+
+class TestChampionship:
+    def test_full_cross_product(self, traces):
+        result = run_championship(traces)
+        assert len(result.results) == 4 * len(traces)
+
+    def test_mean_scores_per_predictor(self, traces):
+        result = run_championship(traces)
+        mpki = result.mean_mpki()
+        assert set(mpki) == {"gshare-2KB", "gshare-32KB", "tage-8KB",
+                             "tage-64KB"}
+        assert all(v >= 0 for v in mpki.values())
+
+    def test_paper_ranking(self, traces):
+        """TAGE configurations must rank above Gshare configurations."""
+        ranking = run_championship(traces).ranking()
+        assert set(ranking[:2]) == {"tage-8KB", "tage-64KB"}
+
+    def test_custom_predictors(self, traces):
+        result = run_championship(traces[:1], {"g": gshare_2kb})
+        assert len(result.results) == 1
+        assert result.results[0].predictor == "g"
+
+    def test_scoreboard_formats(self, traces):
+        text = format_scoreboard(run_championship(traces))
+        assert "tage-8KB" in text
+        assert "mean MPKI" in text
+
+    def test_rejects_empty_traces(self):
+        with pytest.raises(SimulationError):
+            run_championship([])
+
+    def test_rejects_empty_predictors(self):
+        trace = BranchTrace([BranchEvent(1, True)], window_instructions=10)
+        with pytest.raises(SimulationError):
+            run_championship([trace], {})
+
+    def test_fresh_predictor_per_trace(self, traces):
+        """No cross-trace warm-up: same trace twice gives identical
+        scores."""
+        result = run_championship([traces[0], traces[0]],
+                                  {"g": gshare_2kb})
+        a, b = result.results
+        assert a.mispredicts == b.mispredicts

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "svt-av1" in out
+        assert "game1" in out
+        assert "fig16" in out
+
+
+class TestEncode:
+    def test_encode_report(self, capsys):
+        code = main([
+            "encode", "--codec", "x264", "--video", "cat",
+            "--crf", "30", "--preset", "8", "--frames", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "insn per cycle" in out
+        assert "x264" in out
+
+    def test_bad_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["encode", "--codec", "rav1e"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "vbench" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

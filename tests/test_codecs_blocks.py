@@ -1,0 +1,131 @@
+"""Tests for block geometry and partition shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.blocks import (
+    AV1_PARTITIONS,
+    VP9_PARTITIONS,
+    BlockRect,
+    PartitionType,
+    legal_partitions,
+    sub_blocks,
+    superblock_grid,
+)
+from repro.errors import CodecError
+
+
+class TestVocabularies:
+    def test_paper_counts(self):
+        """AV1 allows 10 ways to partition, VP9 only 4 (paper §2.2)."""
+        assert len(AV1_PARTITIONS) == 10
+        assert len(VP9_PARTITIONS) == 4
+
+    def test_vp9_subset_of_av1(self):
+        assert set(VP9_PARTITIONS) <= set(AV1_PARTITIONS)
+
+
+class TestBlockRect:
+    def test_pixels(self):
+        assert BlockRect(0, 0, 16, 32).pixels == 512
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(CodecError):
+            BlockRect(0, 0, 0, 16)
+
+
+class TestSubBlocks:
+    @pytest.mark.parametrize("partition,count", [
+        (PartitionType.NONE, 1),
+        (PartitionType.HORZ, 2),
+        (PartitionType.VERT, 2),
+        (PartitionType.SPLIT, 4),
+        (PartitionType.HORZ_A, 3),
+        (PartitionType.HORZ_B, 3),
+        (PartitionType.VERT_A, 3),
+        (PartitionType.VERT_B, 3),
+        (PartitionType.HORZ_4, 4),
+        (PartitionType.VERT_4, 4),
+    ])
+    def test_child_counts(self, partition, count):
+        rect = BlockRect(0, 0, 32, 32)
+        assert len(sub_blocks(rect, partition)) == count
+
+    @pytest.mark.parametrize("partition", list(PartitionType))
+    def test_children_tile_parent_exactly(self, partition):
+        """Every partition's children must cover the parent exactly."""
+        rect = BlockRect(32, 64, 32, 32)
+        children = sub_blocks(rect, partition)
+        covered = set()
+        for child in children:
+            for r in range(child.row, child.row + child.height):
+                for c in range(child.col, child.col + child.width):
+                    assert (r, c) not in covered, "children overlap"
+                    covered.add((r, c))
+        expected = {
+            (r, c)
+            for r in range(rect.row, rect.row + rect.height)
+            for c in range(rect.col, rect.col + rect.width)
+        }
+        assert covered == expected
+
+    def test_rejects_non_square(self):
+        with pytest.raises(CodecError):
+            sub_blocks(BlockRect(0, 0, 16, 32), PartitionType.HORZ)
+
+    def test_rejects_tiny_split(self):
+        with pytest.raises(CodecError):
+            sub_blocks(BlockRect(0, 0, 4, 4), PartitionType.SPLIT)
+
+    def test_rejects_small_four_way(self):
+        with pytest.raises(CodecError):
+            sub_blocks(BlockRect(0, 0, 8, 8), PartitionType.HORZ_4)
+
+
+class TestLegalPartitions:
+    def test_none_always_legal(self):
+        legal = legal_partitions(8, AV1_PARTITIONS, min_block=8)
+        assert legal == [PartitionType.NONE]
+
+    def test_full_vocabulary_at_32(self):
+        legal = legal_partitions(32, AV1_PARTITIONS, min_block=8)
+        assert set(legal) == set(AV1_PARTITIONS)
+
+    def test_four_way_excluded_at_16_with_min_8(self):
+        legal = legal_partitions(16, AV1_PARTITIONS, min_block=8)
+        assert PartitionType.HORZ_4 not in legal
+        assert PartitionType.SPLIT in legal
+
+    @given(st.sampled_from([8, 16, 32, 64]), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=20)
+    def test_all_legal_partitions_expand(self, size, min_block):
+        rect = BlockRect(0, 0, size, size)
+        for part in legal_partitions(size, AV1_PARTITIONS, min_block):
+            children = sub_blocks(rect, part)
+            for child in children:
+                assert child.height >= min_block or part is PartitionType.NONE
+                assert child.width >= min_block or part is PartitionType.NONE
+
+
+class TestSuperblockGrid:
+    def test_exact_tiling(self):
+        grid = superblock_grid(64, 32, 32)
+        assert len(grid) == 2
+        assert all(g.height == 32 and g.width == 32 for g in grid)
+
+    def test_edge_clipping(self):
+        grid = superblock_grid(48, 40, 32)
+        assert len(grid) == 4
+        assert grid[1].width == 16  # right edge
+        assert grid[2].height == 8  # bottom edge
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CodecError):
+            superblock_grid(64, 64, 24)
+
+    def test_raster_order(self):
+        grid = superblock_grid(64, 64, 32)
+        assert [(g.row, g.col) for g in grid] == [
+            (0, 0), (0, 32), (32, 0), (32, 32)
+        ]

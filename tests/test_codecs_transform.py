@@ -1,0 +1,190 @@
+"""Tests for transforms, quantisation and their round-trip invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.quant import (
+    MAX_QINDEX,
+    Quantizer,
+    crf_to_qindex,
+    qindex_to_step,
+    rd_lambda,
+)
+from repro.codecs.transform import (
+    TRANSFORM_SIZES,
+    TX_TYPES,
+    adst_matrix,
+    dct_matrix,
+    forward_dct,
+    forward_dct_batch,
+    forward_tx_batch,
+    hadamard_matrix,
+    inverse_dct,
+    inverse_dct_batch,
+    inverse_tx_batch,
+    satd,
+    tile_block,
+    transform_split,
+    untile_block,
+)
+from repro.errors import CodecError
+
+
+class TestDctBasis:
+    @pytest.mark.parametrize("size", TRANSFORM_SIZES)
+    def test_orthonormal(self, size):
+        basis = dct_matrix(size)
+        assert np.allclose(basis @ basis.T, np.eye(size), atol=1e-10)
+
+    @pytest.mark.parametrize("size", TRANSFORM_SIZES)
+    def test_adst_orthonormal(self, size):
+        basis = adst_matrix(size)
+        assert np.allclose(basis @ basis.T, np.eye(size), atol=1e-10)
+
+    def test_rejects_unsupported_size(self):
+        with pytest.raises(CodecError):
+            dct_matrix(12)
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_hadamard_orthogonal(self, size):
+        mat = hadamard_matrix(size)
+        assert np.allclose(mat @ mat.T, size * np.eye(size))
+
+    def test_hadamard_rejects_non_power(self):
+        with pytest.raises(CodecError):
+            hadamard_matrix(6)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("size", TRANSFORM_SIZES)
+    def test_dct_invertible(self, size):
+        rng = np.random.default_rng(size)
+        block = rng.integers(-255, 255, (size, size)).astype(np.float64)
+        assert np.allclose(inverse_dct(forward_dct(block)), block, atol=1e-8)
+
+    @pytest.mark.parametrize("tx_type", TX_TYPES)
+    def test_typed_tx_invertible(self, tx_type):
+        rng = np.random.default_rng(hash(tx_type) % 2**31)
+        tiles = rng.normal(0, 50, (5, 8, 8))
+        back = inverse_tx_batch(forward_tx_batch(tiles, tx_type), tx_type)
+        assert np.allclose(back, tiles, atol=1e-8)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(7)
+        tiles = rng.normal(0, 40, (3, 8, 8))
+        batch = forward_dct_batch(tiles)
+        for i in range(3):
+            assert np.allclose(batch[i], forward_dct(tiles[i]))
+
+    def test_dc_coefficient_is_mean(self):
+        block = np.full((8, 8), 10.0)
+        coeffs = forward_dct(block)
+        assert coeffs[0, 0] == pytest.approx(80.0)  # 10 * size
+        assert np.allclose(coeffs.ravel()[1:], 0.0, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(CodecError):
+            forward_dct(np.zeros((8, 16)))
+
+
+class TestTiling:
+    def test_tile_untile_roundtrip(self):
+        rng = np.random.default_rng(3)
+        block = rng.normal(0, 1, (16, 32))
+        tiles = tile_block(block, 8)
+        assert tiles.shape == (8, 8, 8)
+        assert np.array_equal(untile_block(tiles, 16, 32), block)
+
+    def test_tile_rejects_untileable(self):
+        with pytest.raises(CodecError):
+            tile_block(np.zeros((10, 16)), 8)
+
+    def test_transform_split_square(self):
+        assert transform_split(32, 32) == (32, 1, 1)
+
+    def test_transform_split_rect(self):
+        assert transform_split(16, 32) == (16, 1, 2)
+        assert transform_split(8, 32) == (8, 1, 4)
+
+    def test_transform_split_rejects_bad(self):
+        with pytest.raises(CodecError):
+            transform_split(24, 32)
+
+
+class TestSatd:
+    def test_zero_residual(self):
+        assert satd(np.zeros((16, 16))) == 0.0
+
+    def test_scales_with_magnitude(self):
+        rng = np.random.default_rng(9)
+        res = rng.normal(0, 10, (16, 16))
+        assert satd(2 * res) == pytest.approx(2 * satd(res))
+
+    def test_rectangular_blocks(self):
+        rng = np.random.default_rng(5)
+        assert satd(rng.normal(0, 5, (8, 32))) > 0
+
+
+class TestQuantizer:
+    def test_qindex_to_step_monotone(self):
+        steps = [qindex_to_step(q) for q in range(0, MAX_QINDEX + 1, 16)]
+        assert all(b > a for a, b in zip(steps, steps[1:]))
+
+    def test_qindex_bounds(self):
+        with pytest.raises(CodecError):
+            qindex_to_step(-1)
+        with pytest.raises(CodecError):
+            qindex_to_step(256)
+
+    def test_crf_mapping_endpoints(self):
+        assert crf_to_qindex(0, 63) == 0
+        assert crf_to_qindex(63, 63) == MAX_QINDEX
+        assert crf_to_qindex(51, 51) == MAX_QINDEX
+
+    def test_crf_mapping_rejects_out_of_range(self):
+        with pytest.raises(CodecError):
+            crf_to_qindex(64, 63)
+
+    def test_quantize_dequantize_error_bounded(self):
+        quant = Quantizer(step=8.0)
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(0, 40, (8, 8))
+        recon = quant.dequantize(quant.quantize(coeffs))
+        # AC error bounded by the step; DC by the (finer) DC step.
+        assert np.abs(recon - coeffs).max() <= 8.0 + 1e-9
+
+    def test_dc_quantized_finer(self):
+        quant = Quantizer(step=20.0)
+        coeffs = np.zeros((8, 8))
+        coeffs[0, 0] = 9.0  # below AC deadzone-ish range, above DC step
+        levels = quant.quantize(coeffs)
+        assert levels[0, 0] != 0
+
+    def test_deadzone_zeroes_small_ac(self):
+        quant = Quantizer(step=10.0, deadzone=1 / 3)
+        coeffs = np.full((4, 4), 3.0)  # |c| < step * deadzone
+        levels = quant.quantize(coeffs)
+        assert np.all(levels.ravel()[1:] == 0)
+
+    def test_batch_shapes(self):
+        quant = Quantizer(step=4.0)
+        stack = np.random.default_rng(1).normal(0, 10, (6, 8, 8))
+        levels = quant.quantize(stack)
+        assert levels.shape == stack.shape
+        assert quant.dequantize(levels).shape == stack.shape
+
+    def test_invalid_construction(self):
+        with pytest.raises(CodecError):
+            Quantizer(step=0)
+        with pytest.raises(CodecError):
+            Quantizer(step=1, deadzone=1.0)
+        with pytest.raises(CodecError):
+            Quantizer(step=1, dc_ratio=0)
+
+    @given(st.floats(min_value=0.5, max_value=200))
+    @settings(max_examples=25)
+    def test_rd_lambda_positive_and_quadratic(self, step):
+        assert rd_lambda(step) > 0
+        assert rd_lambda(2 * step) == pytest.approx(4 * rd_lambda(step))

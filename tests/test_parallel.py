@@ -1,0 +1,174 @@
+"""Tests for task graphs, the scheduler and thread-scaling models."""
+
+import pytest
+
+from repro.codecs import create_encoder
+from repro.errors import SimulationError
+from repro.parallel import (
+    Task,
+    TaskGraph,
+    build_graph,
+    thread_scaling,
+    topdown_with_threads,
+)
+from repro.uarch.topdown import TopDown
+from repro.video.synthetic import ContentSpec, generate
+
+
+class TestTaskGraph:
+    def test_total_work_and_critical_path(self):
+        graph = TaskGraph([
+            Task("a", 10), Task("b", 5, ("a",)), Task("c", 7, ("a",)),
+        ])
+        assert graph.total_work == 22
+        assert graph.critical_path() == 17
+
+    def test_rejects_cycle(self):
+        with pytest.raises(SimulationError):
+            TaskGraph([Task("a", 1, ("b",)), Task("b", 1, ("a",))])
+
+    def test_rejects_unknown_dep(self):
+        with pytest.raises(SimulationError):
+            TaskGraph([Task("a", 1, ("ghost",))])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SimulationError):
+            TaskGraph([Task("a", 1), Task("a", 2)])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Task("a", -1)
+
+
+class TestScheduler:
+    def test_serial_on_one_worker(self):
+        graph = TaskGraph([Task(f"t{i}", 3) for i in range(4)])
+        assert graph.schedule(1).makespan == 12
+
+    def test_independent_tasks_parallelise(self):
+        graph = TaskGraph([Task(f"t{i}", 3) for i in range(4)])
+        assert graph.schedule(4).makespan == 3
+
+    def test_chain_cannot_parallelise(self):
+        tasks = [Task("t0", 2)]
+        for i in range(1, 5):
+            tasks.append(Task(f"t{i}", 2, (f"t{i-1}",)))
+        graph = TaskGraph(tasks)
+        assert graph.schedule(8).makespan == 10
+
+    def test_makespan_never_below_critical_path(self):
+        graph = TaskGraph([
+            Task("a", 5), Task("b", 3, ("a",)), Task("c", 4),
+            Task("d", 2, ("b", "c")),
+        ])
+        for workers in (1, 2, 4, 8):
+            assert graph.schedule(workers).makespan >= graph.critical_path()
+
+    def test_more_workers_never_slower(self):
+        graph = TaskGraph([
+            Task(f"t{i}", (i % 5) + 1,
+                 (f"t{i-3}",) if i >= 3 else ())
+            for i in range(20)
+        ])
+        spans = [graph.schedule(w).makespan for w in range(1, 9)]
+        assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def test_affinity_pins_to_worker(self):
+        graph = TaskGraph([
+            Task("m1", 5, affinity=0),
+            Task("m2", 5, ("m1",), affinity=0),
+            Task("free", 5),
+        ])
+        result = graph.schedule(2)
+        # Pinned chain serialises on worker 0; free task overlaps.
+        assert result.makespan == 10
+        assert result.worker_busy[0] == 10
+
+    def test_work_conserved(self):
+        graph = TaskGraph([Task(f"t{i}", i + 1) for i in range(6)])
+        result = graph.schedule(3)
+        assert result.total_work == pytest.approx(graph.total_work)
+
+    def test_utilisation_bounds(self):
+        graph = TaskGraph([Task("a", 4), Task("b", 4)])
+        result = graph.schedule(2)
+        assert 0 < result.utilisation <= 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(SimulationError):
+            TaskGraph([Task("a", 1)]).schedule(0)
+
+
+@pytest.fixture(scope="module")
+def encode_results():
+    video = generate(
+        ContentSpec(name="threads", width=96, height=64, fps=30,
+                    num_frames=6, entropy=4.6, style="game")
+    )
+    configs = {
+        "svt-av1": (50, 6), "x264": (40, 2), "x265": (40, 2),
+        "libaom": (50, 6),
+    }
+    return {
+        name: create_encoder(name, crf=crf, preset=preset).encode(video)
+        for name, (crf, preset) in configs.items()
+    }
+
+
+class TestThreadScaling:
+    def test_paper_shapes(self, encode_results):
+        """§4.6: SVT-AV1 most scalable (~6x at 8), x265 least (~1.3x)."""
+        speedups = {
+            name: thread_scaling(result, 8).speedup_at(8)
+            for name, result in encode_results.items()
+        }
+        assert speedups["svt-av1"] > 4.5
+        assert speedups["x265"] < 1.6
+        assert speedups["svt-av1"] == max(speedups.values())
+        assert speedups["x265"] == min(speedups.values())
+
+    def test_monotone_speedups(self, encode_results):
+        for name, result in encode_results.items():
+            curve = thread_scaling(result, 8)
+            values = [p.speedup for p in curve.points]
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), name
+
+    def test_one_thread_is_unity(self, encode_results):
+        for result in encode_results.values():
+            assert thread_scaling(result, 8).speedup_at(1) == pytest.approx(1.0)
+
+    def test_graph_builders_registered(self, encode_results):
+        for result in encode_results.values():
+            graph = build_graph(result)
+            assert graph.total_work > 0
+
+    def test_speedup_at_unknown_count(self, encode_results):
+        curve = thread_scaling(encode_results["x264"], 4)
+        with pytest.raises(SimulationError):
+            curve.speedup_at(16)
+
+
+class TestTopdownWithThreads:
+    def _base(self):
+        return TopDown(retiring=0.55, bad_speculation=0.03, frontend=0.12,
+                       backend=0.30, backend_memory=0.2, backend_core=0.1)
+
+    def test_x265_backend_grows(self):
+        base = self._base()
+        eight = topdown_with_threads(base, "x265", 8, utilisation=0.4)
+        assert eight.backend > base.backend + 0.1
+
+    def test_svt_av1_stays_flat(self):
+        base = self._base()
+        eight = topdown_with_threads(base, "svt-av1", 8, utilisation=0.9)
+        assert abs(eight.backend - base.backend) < 0.08
+
+    def test_shares_still_sum_to_one(self):
+        eight = topdown_with_threads(self._base(), "x265", 8, utilisation=0.3)
+        total = (eight.retiring + eight.bad_speculation + eight.frontend
+                 + eight.backend)
+        assert total == pytest.approx(1.0)
+
+    def test_single_thread_identity(self):
+        base = self._base()
+        assert topdown_with_threads(base, "x265", 1) == base

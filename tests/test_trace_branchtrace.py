@@ -1,0 +1,121 @@
+"""Tests for branch trace containers, serialisation and sampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.branchtrace import BranchTrace
+from repro.trace.instruction import BranchEvent
+from repro.trace.instrument import Instrumenter
+from repro.trace.sampling import extract_midpoint_window
+
+
+def make_trace(n=100, window=10_000.0):
+    events = [BranchEvent(pc=0x1000 + (i % 7) * 4, taken=i % 3 != 0)
+              for i in range(n)]
+    return BranchTrace(events, window_instructions=window, name="t")
+
+
+class TestBranchTrace:
+    def test_stats(self):
+        trace = make_trace(90)
+        assert trace.num_branches == 90
+        assert trace.num_static_sites == 7
+        assert 0 < trace.taken_rate < 1
+        assert len(trace) == 90
+
+    def test_mpki(self):
+        trace = make_trace(window=1_000_000)
+        assert trace.mpki_of(500) == pytest.approx(0.5)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(TraceError):
+            BranchTrace([], window_instructions=0)
+
+    def test_empty_taken_rate(self):
+        assert BranchTrace([], window_instructions=1).taken_rate == 0.0
+
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(257, window=123456.0)
+        path = tmp_path / "trace.rbt"
+        trace.dump(path)
+        back = BranchTrace.loads(path)
+        assert back.name == "t"
+        assert back.window_instructions == pytest.approx(123456.0)
+        assert back.events == trace.events
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.rbt"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(TraceError):
+            BranchTrace.loads(path)
+
+    def test_load_rejects_truncated(self, tmp_path):
+        path = tmp_path / "short.rbt"
+        path.write_bytes(b"\x01")
+        with pytest.raises(TraceError):
+            BranchTrace.loads(path)
+
+    @given(st.lists(st.tuples(st.integers(0, 2**40), st.booleans()),
+                    min_size=0, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, pairs):
+        import tempfile
+
+        events = [BranchEvent(pc=pc, taken=tk) for pc, tk in pairs]
+        trace = BranchTrace(events, window_instructions=42.0)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/t.rbt"
+            trace.dump(path)
+            assert BranchTrace.loads(path).events == events
+
+
+class TestMidpointWindow:
+    def make_run(self, n=1000):
+        inst = Instrumenter()
+        pc = inst.site("enc.decide")
+        for i in range(n):
+            inst.branch(pc + (i % 5) * 4, i % 2 == 0)
+        inst.kernel("sad", 10_000)
+        return inst
+
+    def test_fraction_selects_middle(self):
+        inst = self.make_run(1000)
+        trace = extract_midpoint_window(inst, fraction=0.5)
+        assert len(trace) == 500
+        # Window instruction share matches the event share.
+        assert trace.window_instructions == pytest.approx(
+            inst.total_instructions * 0.5
+        )
+
+    def test_full_fraction(self):
+        inst = self.make_run(100)
+        trace = extract_midpoint_window(inst, fraction=1.0)
+        assert len(trace) == 100
+
+    def test_max_events_cap(self):
+        inst = self.make_run(1000)
+        trace = extract_midpoint_window(inst, fraction=1.0, max_events=64)
+        assert len(trace) == 64
+
+    def test_rejects_empty_run(self):
+        inst = Instrumenter()
+        inst.kernel("sad", 100)
+        with pytest.raises(TraceError):
+            extract_midpoint_window(inst)
+
+    def test_rejects_bad_fraction(self):
+        inst = self.make_run(10)
+        with pytest.raises(TraceError):
+            extract_midpoint_window(inst, fraction=0.0)
+
+    def test_window_is_contiguous_and_centred(self):
+        inst = Instrumenter()
+        for i in range(100):
+            inst.branch(i, True)  # pc encodes position
+        inst.kernel("sad", 100)
+        trace = extract_midpoint_window(inst, fraction=0.2)
+        pcs = [e.pc for e in trace.events]
+        assert pcs == list(range(pcs[0], pcs[0] + len(pcs)))
+        assert abs(pcs[0] - 40) <= 1

@@ -1,0 +1,173 @@
+"""Tests for the cache hierarchy simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.trace.instrument import Instrumenter
+from repro.uarch.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    expand_touches,
+    simulate_encode_traffic,
+)
+
+
+def small_cache(size=1024, ways=2):
+    return Cache(CacheConfig("t", size, ways))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert CacheConfig("t", 32 * 1024, 8).num_sets == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SimulationError):
+            CacheConfig("t", 0, 8)
+        with pytest.raises(SimulationError):
+            CacheConfig("t", 1000, 3)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(42) is False
+        assert cache.access(42) is True
+        assert cache.misses == 1
+        assert cache.accesses == 2
+
+    def test_lru_eviction(self):
+        cache = small_cache(size=256, ways=2)  # 2 sets
+        sets = cache.config.num_sets
+        a, b, c = 0, sets, 2 * sets  # same set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_capacity_streaming_misses(self):
+        cache = small_cache(size=1024, ways=2)  # 16 lines total
+        for line in range(64):
+            cache.access(line)
+        # Second pass over a working set 4x the capacity: all miss.
+        misses_before = cache.misses
+        for line in range(64):
+            cache.access(line)
+        assert cache.misses - misses_before == 64
+
+    def test_small_working_set_all_hits(self):
+        cache = small_cache(size=1024, ways=2)
+        for _ in range(3):
+            for line in range(8):
+                cache.access(line)
+        assert cache.misses == 8
+
+    def test_reset_stats_keeps_contents(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(1) is True
+
+
+class TestHierarchy:
+    def test_miss_cascades(self):
+        h = CacheHierarchy(
+            CacheConfig("l1", 512, 2),
+            CacheConfig("l2", 2048, 4),
+            CacheConfig("llc", 16384, 4),
+            sample_period=1,
+        )
+        h.access_line(7)
+        assert h.l1d.misses == 1
+        assert h.l2.misses == 1
+        assert h.llc.misses == 1
+        h.access_line(7)
+        assert h.l1d.misses == 1  # now a hit
+
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy(
+            CacheConfig("l1", 512, 2),   # 8 lines
+            CacheConfig("l2", 8192, 4),  # 128 lines
+            CacheConfig("llc", 65536, 4),
+            sample_period=1,
+        )
+        for line in range(64):
+            h.access_line(line)
+        llc_before = h.llc.misses
+        for line in range(64):
+            h.access_line(line)
+        # Second pass: misses L1 (too small) but hits L2.
+        assert h.llc.misses == llc_before
+
+    def test_sample_period_scaling(self):
+        h = CacheHierarchy(sample_period=8)
+        h.access_line(0)
+        stats = h.stats()
+        assert stats.l1d_accesses == 8.0
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy(sample_period=3)
+
+    def test_mpki_validates(self):
+        h = CacheHierarchy()
+        with pytest.raises(SimulationError):
+            h.stats().mpki(0)
+
+
+class TestExpandTouches:
+    def test_contiguous_touch_lines(self):
+        inst = Instrumenter()
+        plane = inst.register_plane(proxy_width=256)
+        inst.touch(plane, row=0, rows=2, col=0, cols=256)
+        lines = expand_touches(inst, sample_period=1)
+        # 2 rows x 256 bytes = 4 lines per row at 64B lines.
+        assert len(lines) == 8
+        assert len(np.unique(lines)) == 8
+
+    def test_sampling_keeps_subset(self):
+        inst = Instrumenter()
+        plane = inst.register_plane(proxy_width=1024)
+        inst.touch(plane, 0, 4, 0, 1024)
+        full = expand_touches(inst, sample_period=1)
+        sampled = expand_touches(inst, sample_period=8)
+        assert 0 < len(sampled) < len(full)
+        assert np.all(sampled % 8 == 0)
+
+    def test_repeats_duplicate_stream(self):
+        inst = Instrumenter()
+        plane = inst.register_plane(proxy_width=256)
+        inst.touch(plane, 0, 1, 0, 256, repeats=3)
+        lines = expand_touches(inst, sample_period=1)
+        assert len(lines) == 12  # 4 lines x 3 repeats
+
+    def test_empty_instrumenter(self):
+        assert len(expand_touches(Instrumenter())) == 0
+
+    def test_simulate_encode_traffic(self):
+        inst = Instrumenter()
+        plane = inst.register_plane(proxy_width=512, scale_h=4, scale_w=4)
+        for row in range(0, 64, 8):
+            inst.touch(plane, row, 8, 0, 512)
+        hierarchy, stats = simulate_encode_traffic(inst)
+        assert stats.l1d_accesses > 0
+        assert stats.l1d_misses > 0
+
+    @given(st.integers(1, 64), st.integers(1, 512))
+    @settings(max_examples=20, deadline=None)
+    def test_line_count_matches_geometry(self, rows, cols):
+        inst = Instrumenter()
+        plane = inst.register_plane(proxy_width=1024)
+        inst.touch(plane, 0, rows, 0, cols)
+        lines = expand_touches(inst, sample_period=1)
+        # Each row covers ceil-ish cols/64 lines (alignment-dependent
+        # +-1); total within bounds.
+        per_row_min = max(1, cols // 64)
+        per_row_max = cols // 64 + 1
+        assert rows * per_row_min <= len(lines) <= rows * per_row_max

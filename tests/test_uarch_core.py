@@ -1,0 +1,148 @@
+"""Tests for the top-down core model and perf-counter collection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.uarch.machine import XEON_E5_2650_V4, MachineConfig
+from repro.uarch.pipeline import CoreModelInput, run_core_model
+from repro.uarch.topdown import TopDown, classify_slots
+
+
+def model_input(**overrides):
+    base = dict(
+        instructions=1e9,
+        branch_fraction=0.05,
+        taken_fraction=0.4,
+        mispredicts_per_ki=1.0,
+        l1d_mpki=5.0,
+        l2_mpki=2.0,
+        llc_mpki=0.1,
+        load_fraction=0.26,
+        store_fraction=0.13,
+        avx_fraction=0.32,
+    )
+    base.update(overrides)
+    return CoreModelInput(**base)
+
+
+class TestTopDown:
+    def test_shares_sum_to_one(self):
+        td = TopDown(retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                     backend=0.3)
+        assert td.wasted == pytest.approx(0.5)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(SimulationError):
+            TopDown(retiring=0.5, bad_speculation=0.5, frontend=0.5,
+                    backend=0.5)
+
+    def test_classify_slots(self):
+        td = classify_slots(0.5, 0.05, 0.15, 0.25, 0.05)
+        assert td.retiring == pytest.approx(0.5)
+        assert td.backend == pytest.approx(0.3)
+        assert td.backend_memory == pytest.approx(0.25)
+
+    def test_classify_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            classify_slots(0, 0, 0, 0, 0)
+
+    def test_as_dict_order(self):
+        td = classify_slots(0.5, 0.05, 0.15, 0.25, 0.05)
+        assert list(td.as_dict()) == [
+            "retiring", "bad_speculation", "frontend", "backend"
+        ]
+
+
+class TestCoreModel:
+    def test_ipc_near_two_for_encoder_mix(self):
+        """The paper pins encoder IPC at ~2 on the 4-wide Xeon."""
+        result = run_core_model(model_input(), XEON_E5_2650_V4)
+        assert 1.6 < result.ipc < 2.6
+
+    def test_ipc_bounded_by_width(self):
+        result = run_core_model(
+            model_input(mispredicts_per_ki=0, l1d_mpki=0, l2_mpki=0,
+                        llc_mpki=0, avx_fraction=0.0),
+            XEON_E5_2650_V4,
+        )
+        assert result.ipc <= XEON_E5_2650_V4.pipeline_width
+
+    def test_more_cache_misses_more_backend(self):
+        light = run_core_model(model_input(l1d_mpki=2), XEON_E5_2650_V4)
+        heavy = run_core_model(model_input(l1d_mpki=40), XEON_E5_2650_V4)
+        assert heavy.topdown.backend > light.topdown.backend
+        assert heavy.ipc < light.ipc
+
+    def test_memory_pressure_shades_frontend(self):
+        """The paper's frontend/backend sum stays ~constant: frontend
+        share must fall as memory pressure rises."""
+        light = run_core_model(model_input(l1d_mpki=2), XEON_E5_2650_V4)
+        heavy = run_core_model(model_input(l1d_mpki=40), XEON_E5_2650_V4)
+        assert heavy.topdown.frontend < light.topdown.frontend
+
+    def test_mispredicts_drive_bad_speculation(self):
+        clean = run_core_model(model_input(mispredicts_per_ki=0.1),
+                               XEON_E5_2650_V4)
+        dirty = run_core_model(model_input(mispredicts_per_ki=8.0),
+                               XEON_E5_2650_V4)
+        assert dirty.topdown.bad_speculation > clean.topdown.bad_speculation
+
+    def test_resource_stall_ordering(self):
+        """ROB stalls stay far below RS stalls (paper Fig. 6e-h)."""
+        result = run_core_model(model_input(l1d_mpki=20, l2_mpki=8),
+                                XEON_E5_2650_V4)
+        assert result.stalls.reorder_buffer < result.stalls.reservation_station
+
+    def test_cycles_scale_with_instructions(self):
+        one = run_core_model(model_input(instructions=1e9), XEON_E5_2650_V4)
+        two = run_core_model(model_input(instructions=2e9), XEON_E5_2650_V4)
+        assert two.cycles == pytest.approx(2 * one.cycles)
+
+    def test_cpi_components_sum(self):
+        result = run_core_model(model_input(), XEON_E5_2650_V4)
+        assert result.cpi == pytest.approx(1.0 / result.ipc)
+
+    def test_input_validation(self):
+        with pytest.raises(SimulationError):
+            model_input(instructions=0)
+        with pytest.raises(SimulationError):
+            model_input(branch_fraction=1.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=8.0),
+    )
+    @settings(max_examples=40)
+    def test_topdown_always_valid(self, l1d, l2, mpki):
+        result = run_core_model(
+            model_input(l1d_mpki=l1d, l2_mpki=l2, mispredicts_per_ki=mpki),
+            XEON_E5_2650_V4,
+        )
+        td = result.topdown
+        total = td.retiring + td.bad_speculation + td.frontend + td.backend
+        assert total == pytest.approx(1.0)
+        assert result.ipc > 0
+
+
+class TestMachineConfig:
+    def test_paper_hardware(self):
+        """§3.1: 12 physical cores at 2.8 GHz; 32K/256K/30M hierarchy."""
+        m = XEON_E5_2650_V4
+        assert m.physical_cores == 12
+        assert m.frequency_hz == pytest.approx(2.8e9)
+        assert m.l1d.size_bytes == 32 * 1024
+        assert m.l2.size_bytes == 256 * 1024
+        assert m.llc.size_bytes == 30 * 1024 * 1024
+        assert m.pipeline_width == 4  # the paper's "max IPC is 4"
+
+    def test_core_predictor_instantiates(self):
+        predictor = XEON_E5_2650_V4.make_core_predictor()
+        assert predictor.storage_kib == pytest.approx(64.0, rel=0.02)
+
+    def test_custom_machine(self):
+        machine = MachineConfig(name="small", pipeline_width=2)
+        result = run_core_model(model_input(), machine)
+        assert result.ipc <= 2.0

@@ -1,0 +1,139 @@
+"""Tests for the extension models: roofline, prefetchers, BTB."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import create_encoder
+from repro.errors import SimulationError
+from repro.trace.branchtrace import BranchTrace
+from repro.trace.instruction import BranchEvent
+from repro.uarch import XEON_L1D, encode_roofline, roofline_point
+from repro.uarch.branch import BranchTargetBuffer, run_btb
+from repro.uarch.cache import CacheConfig
+from repro.uarch.prefetch import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    prefetcher_ablation,
+    simulate_with_prefetcher,
+)
+from repro.video.synthetic import ContentSpec, generate
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        point = roofline_point(instructions=1e6, bytes_moved=1e7)
+        assert point.memory_bound
+        assert point.performance < point.compute_roof
+
+    def test_compute_bound_region(self):
+        point = roofline_point(instructions=1e12, bytes_moved=1e6)
+        assert not point.memory_bound
+        assert point.performance == point.compute_roof
+
+    def test_ridge_consistency(self):
+        point = roofline_point(instructions=1e9, bytes_moved=1e9)
+        at_ridge = point.ridge_intensity * point.bandwidth
+        assert at_ridge == pytest.approx(point.compute_roof)
+
+    def test_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            roofline_point(0, 1)
+
+    def test_crf_lowers_intensity(self):
+        """The paper's §4.3 argument: higher CRF -> lower operational
+        intensity (less compute over the same data movement)."""
+        video = generate(
+            ContentSpec(name="roof", width=64, height=48, fps=30,
+                        num_frames=3, entropy=4.6, style="game")
+        )
+        low = encode_roofline(
+            create_encoder("svt-av1", crf=10, preset=4).encode(video)
+        )
+        high = encode_roofline(
+            create_encoder("svt-av1", crf=60, preset=4).encode(video)
+        )
+        assert high.operational_intensity < low.operational_intensity
+
+
+class TestPrefetchers:
+    def _streaming(self, n=4000):
+        return np.arange(n, dtype=np.int64)
+
+    def _random(self, n=4000):
+        return np.random.default_rng(0).integers(0, 1 << 22, n)
+
+    def test_next_line_kills_streaming_misses(self):
+        stats = simulate_with_prefetcher(
+            self._streaming(), XEON_L1D, NextLinePrefetcher()
+        )
+        base = simulate_with_prefetcher(self._streaming(), XEON_L1D, None)
+        assert stats.miss_rate < base.miss_rate * 0.05
+
+    def test_stride_catches_strided_stream(self):
+        lines = np.arange(0, 4000 * 3, 3, dtype=np.int64)
+        stats = simulate_with_prefetcher(lines, XEON_L1D, StridePrefetcher())
+        base = simulate_with_prefetcher(lines, XEON_L1D, None)
+        assert stats.miss_rate < base.miss_rate * 0.2
+
+    def test_no_help_on_random(self):
+        stats = simulate_with_prefetcher(
+            self._random(), XEON_L1D, NextLinePrefetcher()
+        )
+        base = simulate_with_prefetcher(self._random(), XEON_L1D, None)
+        assert stats.miss_rate > base.miss_rate * 0.7
+
+    def test_ablation_keys(self):
+        results = prefetcher_ablation(self._streaming(500), XEON_L1D)
+        assert set(results) == {"none", "next-line", "stride"}
+        assert results["none"].prefetches_issued == 0
+
+    def test_stride_degree_validation(self):
+        with pytest.raises(SimulationError):
+            StridePrefetcher(degree=0)
+
+    def test_encoder_traffic_benefits(self):
+        """Encoder touches are streaming-heavy: prefetching must help."""
+        from repro.uarch.cache import expand_touches
+
+        video = generate(
+            ContentSpec(name="pf", width=64, height=48, fps=30,
+                        num_frames=2, entropy=4.0, style="game")
+        )
+        result = create_encoder("x264", crf=30, preset=7).encode(
+            video, footprint_scale=(8.0, 8.0)
+        )
+        # No set sampling here: next-line prefetching needs the
+        # contiguous line stream.
+        lines = expand_touches(result.instrumenter, sample_period=1)[:30000]
+        results = prefetcher_ablation(lines, CacheConfig("l1", 32 * 1024, 8))
+        assert results["next-line"].miss_rate < results["none"].miss_rate
+
+
+class TestBtb:
+    def _trace(self, sites, n=4000, taken_rate=1.0):
+        rng = np.random.default_rng(1)
+        events = [
+            BranchEvent(pc=int(rng.integers(0, sites)) * 4,
+                        taken=bool(rng.random() < taken_rate))
+            for _ in range(n)
+        ]
+        return BranchTrace(events, window_instructions=n * 20)
+
+    def test_small_footprint_hits(self):
+        result = run_btb(self._trace(sites=64), entries=4096)
+        assert result.miss_rate < 0.05
+
+    def test_large_footprint_misses_small_btb(self):
+        big = run_btb(self._trace(sites=50_000), entries=512)
+        small = run_btb(self._trace(sites=50_000), entries=8192)
+        assert big.miss_rate > small.miss_rate
+
+    def test_only_taken_branches_looked_up(self):
+        result = run_btb(self._trace(sites=16, taken_rate=0.5))
+        assert result.lookups < 4000
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BranchTargetBuffer(entries=1000)
+        with pytest.raises(SimulationError):
+            BranchTargetBuffer(entries=1024, ways=3)

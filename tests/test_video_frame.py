@@ -1,0 +1,125 @@
+"""Unit tests for YUV frame/plane/video containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VideoError
+from repro.video.frame import Frame, Plane, Video
+
+
+def make_frame(width=32, height=16, value=100, index=0):
+    y = np.full((height, width), value, dtype=np.uint8)
+    c = np.full((height // 2, width // 2), 128, dtype=np.uint8)
+    return Frame(y, c, c.copy(), index=index)
+
+
+class TestPlane:
+    def test_dimensions(self):
+        plane = Plane(np.zeros((10, 20), dtype=np.uint8))
+        assert plane.height == 10
+        assert plane.width == 20
+        assert plane.size_bytes == 200
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(VideoError):
+            Plane(np.zeros(10, dtype=np.uint8))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(VideoError):
+            Plane(np.zeros((4, 4), dtype=np.float32))
+
+    def test_block_interior(self):
+        data = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        plane = Plane(data)
+        blk = plane.block(2, 3, 4, 4)
+        assert blk.shape == (4, 4)
+        assert blk[0, 0] == data[2, 3]
+
+    def test_block_edge_padding(self):
+        data = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        plane = Plane(data)
+        blk = plane.block(6, 6, 4, 4)
+        assert blk.shape == (4, 4)
+        # Replicated last row/col.
+        assert blk[3, 3] == data[7, 7]
+        assert blk[2, 0] == data[7, 6]
+
+    def test_block_origin_out_of_range(self):
+        plane = Plane(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(VideoError):
+            plane.block(8, 0, 4, 4)
+        with pytest.raises(VideoError):
+            plane.block(0, -1, 4, 4)
+
+
+class TestFrame:
+    def test_basic_geometry(self):
+        frame = make_frame(32, 16)
+        assert frame.width == 32
+        assert frame.height == 16
+        assert frame.size_bytes == 32 * 16 + 2 * 16 * 8
+
+    def test_rejects_odd_luma(self):
+        y = np.zeros((15, 32), dtype=np.uint8)
+        c = np.zeros((7, 16), dtype=np.uint8)
+        with pytest.raises(VideoError):
+            Frame(y, c, c)
+
+    def test_rejects_chroma_mismatch(self):
+        y = np.zeros((16, 32), dtype=np.uint8)
+        c_bad = np.zeros((8, 15), dtype=np.uint8)
+        c_ok = np.zeros((8, 16), dtype=np.uint8)
+        with pytest.raises(VideoError):
+            Frame(y, c_bad, c_ok)
+
+    def test_blank(self):
+        frame = Frame.blank(32, 16, value=77)
+        assert np.all(frame.y.data == 77)
+        assert np.all(frame.u.data == 128)
+
+    def test_blank_rejects_bad_value(self):
+        with pytest.raises(VideoError):
+            Frame.blank(32, 16, value=300)
+
+    def test_copy_is_deep(self):
+        frame = make_frame()
+        dup = frame.copy()
+        dup.y.data[0, 0] = 1
+        assert frame.y.data[0, 0] != 1
+
+    def test_planes_iteration(self):
+        frame = make_frame()
+        planes = list(frame.planes())
+        assert len(planes) == 3
+        assert planes[0].width == 2 * planes[1].width
+
+
+class TestVideo:
+    def test_properties(self):
+        frames = [make_frame(index=i) for i in range(4)]
+        video = Video(frames, fps=30, name="clip")
+        assert video.num_frames == 4
+        assert video.width == 32
+        assert video.duration_seconds == pytest.approx(4 / 30)
+        assert video.raw_size_bytes == 4 * frames[0].size_bytes
+        assert len(video) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(VideoError):
+            Video([], fps=30)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(VideoError):
+            Video([make_frame()], fps=0)
+
+    def test_rejects_mixed_geometry(self):
+        with pytest.raises(VideoError):
+            Video([make_frame(32, 16), make_frame(16, 16)], fps=30)
+
+    @given(st.integers(min_value=1, max_value=8), st.floats(min_value=1, max_value=120))
+    def test_duration_invariant(self, count, fps):
+        frames = [make_frame(index=i) for i in range(count)]
+        video = Video(frames, fps=fps)
+        assert video.duration_seconds * video.fps == pytest.approx(count)

@@ -1,0 +1,81 @@
+"""Round-trip and error tests for the Y4M reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.io import read_y4m, write_y4m
+from repro.video.synthetic import ContentSpec, generate
+
+
+@pytest.fixture
+def small_video():
+    return generate(
+        ContentSpec(name="io", width=32, height=16, fps=25, num_frames=3,
+                    entropy=3.0)
+    )
+
+
+class TestY4mRoundTrip:
+    def test_lossless(self, small_video, tmp_path):
+        path = tmp_path / "clip.y4m"
+        write_y4m(small_video, path)
+        back = read_y4m(path)
+        assert back.num_frames == small_video.num_frames
+        assert back.fps == pytest.approx(small_video.fps)
+        for a, b in zip(small_video.frames, back.frames):
+            assert np.array_equal(a.y.data, b.y.data)
+            assert np.array_equal(a.u.data, b.u.data)
+            assert np.array_equal(a.v.data, b.v.data)
+
+    def test_fractional_fps(self, small_video, tmp_path):
+        small_video.fps = 30000 / 1001  # NTSC
+        path = tmp_path / "ntsc.y4m"
+        write_y4m(small_video, path)
+        assert read_y4m(path).fps == pytest.approx(small_video.fps, rel=1e-6)
+
+
+class TestY4mErrors:
+    def test_not_y4m(self, tmp_path):
+        path = tmp_path / "bogus.y4m"
+        path.write_bytes(b"RIFF....WEBPVP8 ")
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_truncated_frame(self, small_video, tmp_path):
+        path = tmp_path / "trunc.y4m"
+        write_y4m(small_video, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_unsupported_chroma(self, tmp_path):
+        path = tmp_path / "c444.y4m"
+        path.write_bytes(b"YUV4MPEG2 W4 H4 F30:1 C444\n")
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_interlaced_rejected(self, tmp_path):
+        path = tmp_path / "ilace.y4m"
+        path.write_bytes(b"YUV4MPEG2 W4 H4 F30:1 It\n")
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_missing_dimensions(self, tmp_path):
+        path = tmp_path / "nodim.y4m"
+        path.write_bytes(b"YUV4MPEG2 F30:1\n")
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.y4m"
+        path.write_bytes(b"YUV4MPEG2 W4 H4 F30:1\n")
+        with pytest.raises(VideoError):
+            read_y4m(path)
+
+    def test_bad_frame_marker(self, tmp_path):
+        path = tmp_path / "marker.y4m"
+        path.write_bytes(b"YUV4MPEG2 W4 H4 F30:1\nGARBAGE\n" + b"\x00" * 24)
+        with pytest.raises(VideoError):
+            read_y4m(path)

@@ -1,0 +1,147 @@
+"""Tests for PSNR/SSIM/bitrate and BD-rate metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VideoError
+from repro.video.bdrate import RatePoint, bd_psnr, bd_rate
+from repro.video.frame import Frame, Video
+from repro.video.metrics import (
+    PSNR_CAP_DB,
+    bitrate_kbps,
+    frame_psnr,
+    psnr,
+    sequence_psnr,
+    sequence_ssim,
+    ssim,
+)
+
+
+def flat_frame(value, index=0, size=(16, 32)):
+    h, w = size
+    y = np.full((h, w), value, dtype=np.uint8)
+    c = np.full((h // 2, w // 2), 128, dtype=np.uint8)
+    return Frame(y, c, c.copy(), index=index)
+
+
+class TestPsnr:
+    def test_identical_is_capped(self):
+        a = np.full((8, 8), 50, dtype=np.uint8)
+        assert psnr(a, a) == PSNR_CAP_DB
+
+    def test_known_value(self):
+        a = np.zeros((8, 8), dtype=np.uint8)
+        b = np.full((8, 8), 10, dtype=np.uint8)
+        # MSE = 100 -> PSNR = 10*log10(255^2/100) = 28.13 dB
+        assert psnr(a, b) == pytest.approx(28.13, abs=0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(VideoError):
+            psnr(np.zeros((4, 4), dtype=np.uint8), np.zeros((4, 8), dtype=np.uint8))
+
+    def test_monotonic_in_error(self):
+        a = np.zeros((8, 8), dtype=np.uint8)
+        nearer = np.full((8, 8), 5, dtype=np.uint8)
+        farther = np.full((8, 8), 20, dtype=np.uint8)
+        assert psnr(a, nearer) > psnr(a, farther)
+
+    def test_sequence_average(self):
+        ref = Video([flat_frame(0, 0), flat_frame(0, 1)], fps=30)
+        dist = Video([flat_frame(10, 0), flat_frame(0, 1)], fps=30)
+        seq = sequence_psnr(ref, dist)
+        per_frame = [frame_psnr(r, d) for r, d in zip(ref.frames, dist.frames)]
+        assert seq == pytest.approx(sum(per_frame) / 2)
+
+    def test_sequence_count_mismatch(self):
+        ref = Video([flat_frame(0)], fps=30)
+        dist = Video([flat_frame(0, 0), flat_frame(0, 1)], fps=30)
+        with pytest.raises(VideoError):
+            sequence_psnr(ref, dist)
+
+
+class TestSsim:
+    def test_identical_is_one(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 255, (32, 32)).astype(np.uint8)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 255, (32, 32)).astype(np.uint8)
+        noisy = np.clip(a.astype(int) + rng.integers(-40, 40, a.shape), 0, 255)
+        assert ssim(a, noisy.astype(np.uint8)) < 1.0
+
+    def test_sequence(self):
+        ref = Video([flat_frame(100)], fps=30)
+        assert sequence_ssim(ref, ref) == pytest.approx(1.0)
+
+    def test_window_too_big(self):
+        with pytest.raises(VideoError):
+            ssim(np.zeros((4, 4), dtype=np.uint8), np.zeros((4, 4), dtype=np.uint8),
+                 window=8)
+
+
+class TestBitrate:
+    def test_known_value(self):
+        # 1 Mbit over 30 frames at 30 fps = 1 second -> 1000 kbps.
+        assert bitrate_kbps(1_000_000, 30, 30.0) == pytest.approx(1000.0)
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(VideoError):
+            bitrate_kbps(100, 0, 30)
+
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.integers(min_value=1, max_value=600),
+           st.floats(min_value=1, max_value=120))
+    @settings(max_examples=25)
+    def test_scales_linearly_with_bits(self, bits, frames, fps):
+        one = bitrate_kbps(bits, frames, fps)
+        two = bitrate_kbps(2 * bits, frames, fps)
+        assert two == pytest.approx(2 * one)
+
+
+def curve(offset_db):
+    """Monotone RD curve: quality rises with log bitrate."""
+    return [
+        RatePoint(bitrate_kbps=r, psnr_db=30 + offset_db + 5 * np.log10(r / 100))
+        for r in (100, 300, 1000, 3000)
+    ]
+
+
+class TestBdRate:
+    def test_identical_curves_zero(self):
+        assert bd_rate(curve(0), curve(0)) == pytest.approx(0.0, abs=1e-6)
+        assert bd_psnr(curve(0), curve(0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_better_encoder_negative_bdrate(self):
+        """A curve with +2 dB at equal rate needs less rate at equal quality."""
+        assert bd_rate(curve(0), curve(2.0)) < 0
+
+    def test_bd_psnr_sign(self):
+        assert bd_psnr(curve(0), curve(2.0)) == pytest.approx(2.0, abs=0.05)
+
+    def test_antisymmetric_in_sign(self):
+        fwd = bd_psnr(curve(0), curve(1.0))
+        rev = bd_psnr(curve(1.0), curve(0))
+        assert fwd == pytest.approx(-rev, abs=1e-6)
+
+    def test_requires_four_points(self):
+        with pytest.raises(VideoError):
+            bd_rate(curve(0)[:3], curve(0))
+
+    def test_requires_overlap(self):
+        low = [RatePoint(r, 20 + i) for i, r in enumerate((100, 200, 400, 800))]
+        high = [RatePoint(r, 50 + i) for i, r in enumerate((100, 200, 400, 800))]
+        with pytest.raises(VideoError):
+            bd_rate(low, high)
+
+    def test_rejects_nonpositive_bitrate(self):
+        with pytest.raises(VideoError):
+            RatePoint(bitrate_kbps=0, psnr_db=30)
+
+    def test_rejects_flat_psnr(self):
+        points = [RatePoint(r, 30.0) for r in (100, 200, 400, 800)]
+        with pytest.raises(VideoError):
+            bd_rate(points, points)

@@ -1,0 +1,133 @@
+"""Tests for synthetic content generation and the vbench catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VideoError
+from repro.video import vbench
+from repro.video.synthetic import ContentSpec, generate, measured_entropy
+
+
+def spec(**overrides):
+    base = dict(
+        name="t", width=64, height=48, fps=30, num_frames=4, entropy=4.0,
+        style="natural",
+    )
+    base.update(overrides)
+    return ContentSpec(**base)
+
+
+class TestContentSpec:
+    def test_rejects_odd_dims(self):
+        with pytest.raises(VideoError):
+            spec(width=63)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(VideoError):
+            spec(width=8, height=8)
+
+    def test_rejects_entropy_range(self):
+        with pytest.raises(VideoError):
+            spec(entropy=9.0)
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(VideoError):
+            spec(style="noir")
+
+    def test_with_frames(self):
+        assert spec().with_frames(9).num_frames == 9
+
+
+class TestGenerate:
+    def test_geometry_and_count(self):
+        video = generate(spec(num_frames=3))
+        assert video.num_frames == 3
+        assert (video.width, video.height) == (64, 48)
+
+    def test_deterministic(self):
+        a = generate(spec())
+        b = generate(spec())
+        for fa, fb in zip(a.frames, b.frames):
+            assert np.array_equal(fa.y.data, fb.y.data)
+            assert np.array_equal(fa.u.data, fb.u.data)
+
+    def test_seed_changes_content(self):
+        a = generate(spec(seed=0))
+        b = generate(spec(seed=1))
+        assert not np.array_equal(a.frames[0].y.data, b.frames[0].y.data)
+
+    @pytest.mark.parametrize("style", ["desktop", "presentation", "sports",
+                                       "game", "natural", "chaotic"])
+    def test_all_styles_generate(self, style):
+        video = generate(spec(style=style))
+        assert video.num_frames == 4
+
+    def test_entropy_ordering(self):
+        """Higher spec entropy must produce higher measured entropy."""
+        low = generate(spec(entropy=0.2, style="desktop", name="lo"))
+        high = generate(spec(entropy=7.0, style="chaotic", name="hi"))
+        assert measured_entropy(low) < measured_entropy(high)
+
+    def test_desktop_nearly_static(self):
+        video = generate(spec(style="desktop", entropy=0.2))
+        diff = np.abs(
+            video.frames[1].y.data.astype(int) - video.frames[0].y.data.astype(int)
+        )
+        # Desktop content barely changes between frames.
+        assert diff.mean() < 3.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=8.0))
+    def test_any_entropy_valid(self, entropy):
+        video = generate(spec(entropy=entropy, num_frames=2))
+        assert video.frames[0].y.data.dtype == np.uint8
+
+    def test_single_frame_entropy(self):
+        video = generate(spec(num_frames=1))
+        assert measured_entropy(video) >= 0.0
+
+
+class TestVbench:
+    def test_catalog_size(self):
+        assert len(vbench.CATALOG) == 15
+
+    def test_names_unique(self):
+        assert len(set(vbench.names())) == 15
+
+    def test_entry_lookup(self):
+        e = vbench.entry("game1")
+        assert e.resolution == "1080p"
+        assert e.fps == 60
+        assert e.entropy == pytest.approx(4.6)
+
+    def test_unknown_entry(self):
+        with pytest.raises(VideoError):
+            vbench.entry("nonexistent")
+
+    def test_proxy_ordering_follows_native(self):
+        """Bigger native resolutions get bigger proxies."""
+        sizes = {}
+        for res, (w, h) in vbench.PROXY_GEOMETRY.items():
+            sizes[res] = w * h
+        assert sizes["480p"] < sizes["720p"] < sizes["1080p"] < sizes["2160p"]
+
+    def test_load_produces_proxy_geometry(self):
+        video = vbench.load("cat", num_frames=2)
+        assert (video.width, video.height) == vbench.PROXY_GEOMETRY["480p"]
+        assert video.fps == 29
+
+    def test_pixel_scale_positive(self):
+        for entry in vbench.CATALOG:
+            assert entry.pixel_scale > 1.0
+
+    def test_table1_rows(self):
+        rows = vbench.table1_rows()
+        assert len(rows) == 15
+        assert {"video", "resolution", "fps", "entropy"} <= set(rows[0])
+
+    def test_entropy_span_matches_paper(self):
+        entropies = [e.entropy for e in vbench.CATALOG]
+        assert min(entropies) == pytest.approx(0.2)
+        assert max(entropies) == pytest.approx(7.7)
