@@ -13,6 +13,8 @@ The library is organised as the paper's toolchain is:
 - :mod:`repro.cbp` — Championship Branch Prediction harness.
 - :mod:`repro.parallel` — encoder task-graph thread-scaling models.
 - :mod:`repro.profiling` — gprof/perf-style report front-ends.
+- :mod:`repro.resilience` — retry/timeout policies, checkpointed
+  sweeps with resume, and deterministic fault injection.
 - :mod:`repro.core` — the characterization methodology: single-encode
   characterization and CRF/preset/thread sweeps.
 - :mod:`repro.experiments` — one entry per paper table/figure.
@@ -35,6 +37,7 @@ from . import (  # noqa: F401  (subpackages re-exported)
     experiments,
     parallel,
     profiling,
+    resilience,
     trace,
     uarch,
     video,

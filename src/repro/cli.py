@@ -18,9 +18,24 @@ from typing import Sequence
 
 from .codecs import encoder_names
 from .core import characterize, format_result
+from .errors import ReproError
 from .experiments import experiment_ids, run_experiment
 from .profiling import format_perf_report
 from .video import vbench
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,6 +61,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("id", choices=experiment_ids())
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed in the run ledger",
+    )
+    experiment.add_argument(
+        "--max-retries", type=_nonnegative_int, default=None, metavar="N",
+        help="retry each sweep cell up to N times on transient failure",
+    )
+    experiment.add_argument(
+        "--cell-timeout", type=_positive_float, default=None,
+        metavar="SECONDS", help="watchdog deadline per sweep cell",
+    )
+    experiment.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="checkpoint ledger path (default .repro/ledgers/<id>.jsonl "
+             "when --resume is given)",
+    )
+    experiment.add_argument(
+        "--json", action="store_true",
+        help="print the result as schema-versioned JSON",
+    )
     return parser
 
 
@@ -68,7 +104,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "experiment":
-        print(format_result(run_experiment(args.id)))
+        try:
+            result = run_experiment(
+                args.id,
+                resume=args.resume,
+                max_retries=args.max_retries,
+                cell_timeout=args.cell_timeout,
+                ledger_path=args.ledger,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_json(indent=2) if args.json else format_result(result))
+        quarantined = result.provenance.get("quarantined", [])
+        if quarantined:
+            cells = ", ".join(q["cell"] for q in quarantined)
+            print(f"warning: {len(quarantined)} cell(s) quarantined: {cells}",
+                  file=sys.stderr)
         return 0
 
     return 1  # pragma: no cover - argparse enforces the choices

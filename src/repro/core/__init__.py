@@ -1,7 +1,15 @@
 """The characterization methodology: per-run measurement and sweeps."""
 
 from .characterize import characterize, encode_workload, workload_scales
-from .report import ExperimentResult, Series, Table, format_result, format_table
+from .report import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    Series,
+    Table,
+    format_result,
+    format_table,
+)
+from .serialize import from_jsonable, register, to_jsonable
 from .session import RunKey, Session, default_session
 from .sweeps import (
     DEFAULT_CRFS,
@@ -12,12 +20,14 @@ from .sweeps import (
     crf_sweep,
     preset_sweep,
     scale_crf,
+    sweep_cells,
     thread_study,
 )
 
 __all__ = [
     "DEFAULT_CRFS",
     "DEFAULT_PRESETS",
+    "RESULT_SCHEMA_VERSION",
     "ExperimentResult",
     "RunKey",
     "Series",
@@ -32,8 +42,12 @@ __all__ = [
     "encode_workload",
     "format_result",
     "format_table",
+    "from_jsonable",
     "preset_sweep",
+    "register",
     "scale_crf",
+    "sweep_cells",
     "thread_study",
+    "to_jsonable",
     "workload_scales",
 ]

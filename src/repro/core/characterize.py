@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..codecs import create_encoder
 from ..codecs.base import EncodeResult, Encoder
 from ..errors import ExperimentError
+from ..resilience.faults import fault_point
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport, collect
 from ..video import vbench
@@ -75,6 +76,7 @@ def characterize(
             else vbench.load(video)
         )
     scale_h, scale_w, pixel_scale, duration_scale = workload_scales(video)
+    fault_point(f"encode:{encoder.name}:{video.name}")
     result: EncodeResult = encoder.encode(
         video, footprint_scale=(scale_h, scale_w)
     )
@@ -107,4 +109,5 @@ def encode_workload(
     )
     scale_h, scale_w, _, _ = workload_scales(video)
     encoder = create_encoder(encoder_name, crf=crf, preset=preset)
+    fault_point(f"encode:{encoder_name}:{video_name}")
     return encoder.encode(video, footprint_scale=(scale_h, scale_w))

@@ -8,9 +8,15 @@ them as aligned text, which is what the benchmark harness prints.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
-from ..errors import ExperimentError
+from ..errors import CheckpointError, ExperimentError
+
+#: Bump when the serialized ExperimentResult layout changes
+#: incompatibly; ``from_json`` refuses other versions.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,9 @@ class ExperimentResult:
     tables: list[Table] = field(default_factory=list)
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Execution metadata (resumed/quarantined cells, retry counts);
+    #: populated by the resilient executor, empty for plain runs.
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def table(self, title: str) -> Table:
         """Fetch a table by title."""
@@ -83,6 +92,80 @@ class ExperimentResult:
         raise ExperimentError(
             f"{self.experiment_id}: no series named {name!r}"
         )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to schema-versioned JSON (see :meth:`from_json`).
+
+        Cell values must be JSON primitives — which every experiment's
+        tables and series satisfy (strings, ints, floats).
+        """
+        payload = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [
+                {
+                    "title": t.title,
+                    "headers": list(t.headers),
+                    "rows": [list(row) for row in t.rows],
+                }
+                for t in self.tables
+            ],
+            "series": [
+                {"name": s.name, "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+            "notes": list(self.notes),
+            "provenance": self.provenance,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result serialized by :meth:`to_json`.
+
+        Table/series invariants re-validate on load, so a tampered
+        artifact fails here rather than downstream.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"malformed ExperimentResult JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("ExperimentResult JSON must be an object")
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"ExperimentResult schema version {version!r} unsupported "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        try:
+            tables = [
+                Table(
+                    title=t["title"],
+                    headers=tuple(t["headers"]),
+                    rows=tuple(tuple(row) for row in t["rows"]),
+                )
+                for t in payload.get("tables", [])
+            ]
+            series = [
+                Series(name=s["name"], x=tuple(s["x"]), y=tuple(s["y"]))
+                for s in payload.get("series", [])
+            ]
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                tables=tables,
+                series=series,
+                notes=list(payload.get("notes", [])),
+                provenance=dict(payload.get("provenance", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"incomplete ExperimentResult JSON: {exc!r}"
+            ) from exc
 
 
 def _fmt(cell) -> str:

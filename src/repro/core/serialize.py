@@ -1,0 +1,98 @@
+"""JSON codec for the library's result dataclasses.
+
+The run ledger (:mod:`repro.resilience.ledger`) checkpoints one
+:class:`~repro.uarch.perfcounters.PerfReport` per completed sweep
+cell, and :meth:`ExperimentResult.to_json` serializes whole artifacts
+for diffing — both need the nested frozen dataclasses of the
+measurement stack to round-trip through plain JSON.
+
+The codec is generic over a *registry* of allowed classes: encoding
+tags each registered dataclass with ``{"__dataclass__": <name>}`` and
+decoding rebuilds it via its constructor (so ``__post_init__``
+invariants re-validate on load).  Unregistered types fail loudly
+rather than pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..errors import CheckpointError
+from ..uarch.perfcounters import BranchReport, PerfReport
+from ..uarch.pipeline import CoreModelResult, ResourceStalls
+from ..uarch.topdown import TopDown
+
+_TAG = "__dataclass__"
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Allow ``cls`` (a dataclass) to round-trip through the codec."""
+    if not dataclasses.is_dataclass(cls):
+        raise CheckpointError(f"{cls!r} is not a dataclass")
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+for _cls in (PerfReport, BranchReport, TopDown, CoreModelResult,
+             ResourceStalls):
+    register(_cls)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert ``value`` to JSON-compatible primitives.
+
+    Registered dataclasses become tagged dicts; tuples become lists
+    (JSON has no tuple), so containers of mixed tuples/lists do not
+    round-trip their exact container type — the registered result
+    classes do not rely on that distinction.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"cannot serialize dict with non-string key {key!r}"
+                )
+        return {key: to_jsonable(item) for key, item in value.items()}
+    cls = type(value)
+    if dataclasses.is_dataclass(value) and cls.__name__ in _REGISTRY:
+        fields = {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {_TAG: cls.__name__, "fields": fields}
+    raise CheckpointError(
+        f"cannot serialize {cls.__name__!r}; register() it first"
+    )
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable` for registered classes."""
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        if _TAG in value:
+            name = value[_TAG]
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise CheckpointError(
+                    f"unknown serialized dataclass {name!r}"
+                )
+            fields = {
+                key: from_jsonable(item)
+                for key, item in value.get("fields", {}).items()
+            }
+            try:
+                return cls(**fields)
+            except TypeError as exc:
+                raise CheckpointError(
+                    f"cannot rebuild {name}: {exc}"
+                ) from exc
+        return {key: from_jsonable(item) for key, item in value.items()}
+    return value

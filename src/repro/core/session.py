@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..codecs.base import EncodeResult
+from ..resilience.executor import ResilienceGuard
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport
 from .characterize import characterize, encode_workload
+from .serialize import from_jsonable, to_jsonable
 
 
 @dataclass(frozen=True)
@@ -30,12 +32,28 @@ class RunKey:
 
 @dataclass
 class Session:
-    """Memoising front-end over :func:`characterize`."""
+    """Memoising front-end over :func:`characterize`.
+
+    When ``guard`` is set (the resilient executor installs one via
+    :func:`repro.experiments.common.make_session`), every cache miss
+    becomes a *cell* run under the guard's retry/timeout/checkpoint
+    policies: completed cells are ledgered as serialized
+    :class:`~repro.uarch.perfcounters.PerfReport` payloads and resumed
+    runs replay them instead of re-encoding.
+    """
 
     machine: MachineConfig = XEON_E5_2650_V4
     num_frames: int | None = None
+    guard: ResilienceGuard | None = None
     _reports: dict[RunKey, PerfReport] = field(default_factory=dict)
     _encodes: dict[RunKey, EncodeResult] = field(default_factory=dict)
+
+    def cell_key(self, key: RunKey) -> str:
+        """Stable ledger/fault-site key for one characterization cell."""
+        frames = "all" if key.num_frames is None else key.num_frames
+        return (
+            f"cell:{key.codec}:{key.video}:{key.crf:g}:{key.preset}:{frames}"
+        )
 
     def report(
         self,
@@ -44,14 +62,28 @@ class Session:
         crf: float,
         preset: int,
     ) -> PerfReport:
-        """Characterize (or fetch the cached) run."""
+        """Characterize (or fetch the cached) run.
+
+        Raises :class:`~repro.errors.QuarantinedCellError` when a
+        guarded cell fails permanently; sweep loops catch it and keep
+        the rest of the grid.
+        """
         key = RunKey(codec, video, crf, preset, self.num_frames)
         cached = self._reports.get(key)
         if cached is None:
-            cached = characterize(
+            compute = lambda: characterize(  # noqa: E731
                 codec, video, machine=self.machine, crf=crf, preset=preset,
                 num_frames=self.num_frames,
             )
+            if self.guard is not None:
+                cached = self.guard.run_cell(
+                    self.cell_key(key),
+                    compute,
+                    serialize=to_jsonable,
+                    deserialize=from_jsonable,
+                )
+            else:
+                cached = compute()
             self._reports[key] = cached
         return cached
 

@@ -8,9 +8,10 @@ into the exact rows/series of each table and figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
 
 from ..codecs import SPECS
-from ..errors import ExperimentError
+from ..errors import ExperimentError, QuarantinedCellError
 from ..parallel.scaling import ScalingCurve, thread_scaling, topdown_with_threads
 from ..uarch.perfcounters import PerfReport
 from ..uarch.topdown import TopDown
@@ -21,6 +22,34 @@ DEFAULT_CRFS: tuple[int, ...] = (10, 20, 30, 40, 50, 60)
 
 #: AV1/VP9-family presets are 0-8 (higher = faster).
 DEFAULT_PRESETS: tuple[int, ...] = tuple(range(9))
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def sweep_cells(
+    points: Iterable[_P],
+    run: Callable[[_P], _R],
+) -> tuple[list[_P], list[_R]]:
+    """Run ``run`` over grid ``points``, dropping quarantined cells.
+
+    The failure-isolation primitive of every sweep: a cell that raises
+    :class:`~repro.errors.QuarantinedCellError` (the resilient
+    executor's permanent-failure signal) is skipped — its grid point
+    disappears from the returned ``points`` — and every other cell's
+    work is kept.  Without a resilient session no cell ever raises it,
+    so plain sweeps behave exactly as before.
+    """
+    kept_points: list[_P] = []
+    kept_results: list[_R] = []
+    for point in points:
+        try:
+            result = run(point)
+        except QuarantinedCellError:
+            continue
+        kept_points.append(point)
+        kept_results.append(result)
+    return kept_points, kept_results
 
 
 def scale_crf(codec: str, crf: float, reference_range: int = 63) -> float:
@@ -59,12 +88,17 @@ def crf_sweep(
     preset: int = 4,
     session: Session | None = None,
 ) -> list[PerfReport]:
-    """Characterize one clip across CRF values (paper §4.2)."""
+    """Characterize one clip across CRF values (paper §4.2).
+
+    Quarantined cells are dropped from the returned list; each
+    report's ``crf`` field identifies its grid point.
+    """
     session = session or default_session()
-    return [
-        session.report(codec, video, scale_crf(codec, crf), preset)
-        for crf in crfs
-    ]
+    _, reports = sweep_cells(
+        crfs,
+        lambda crf: session.report(codec, video, scale_crf(codec, crf), preset),
+    )
+    return reports
 
 
 def preset_sweep(
@@ -74,11 +108,17 @@ def preset_sweep(
     crf: float = 40,
     session: Session | None = None,
 ) -> list[PerfReport]:
-    """Characterize one clip across speed presets (paper §4.5)."""
+    """Characterize one clip across speed presets (paper §4.5).
+
+    Quarantined cells are dropped from the returned list; each
+    report's ``preset`` field identifies its grid point.
+    """
     session = session or default_session()
-    return [
-        session.report(codec, video, crf, preset) for preset in presets
-    ]
+    _, reports = sweep_cells(
+        presets,
+        lambda preset: session.report(codec, video, crf, preset),
+    )
+    return reports
 
 
 def codec_comparison(
@@ -88,17 +128,22 @@ def codec_comparison(
     av1_preset: int = 4,
     session: Session | None = None,
 ) -> list[PerfReport]:
-    """Characterize several encoders at a comparable operating point."""
+    """Characterize several encoders at a comparable operating point.
+
+    Quarantined cells are dropped from the returned list; each
+    report's ``codec`` field identifies its encoder.
+    """
     session = session or default_session()
-    return [
-        session.report(
+    _, reports = sweep_cells(
+        codecs,
+        lambda codec: session.report(
             codec,
             video,
             scale_crf(codec, crf),
             comparable_preset(codec, av1_preset),
-        )
-        for codec in codecs
-    ]
+        ),
+    )
+    return reports
 
 
 @dataclass(frozen=True)

@@ -32,3 +32,50 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was asked for an artifact it does not define."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The resilient executor (:mod:`repro.resilience`) retries cells that
+    raise this class (with exponential backoff); anything else is
+    treated as permanent.  Raise it for resource exhaustion, flaky
+    backends, and injected faults of kind ``transient``.
+    """
+
+
+class FatalError(ReproError):
+    """A failure that retrying cannot fix.
+
+    Misconfiguration, contract violations and injected faults of kind
+    ``fatal`` are permanent: the resilient executor quarantines the
+    cell immediately instead of burning retries.
+    """
+
+
+class CellTimeoutError(TransientError):
+    """A sweep cell exceeded its deadline.
+
+    Subclasses :class:`TransientError` because a timeout on one attempt
+    (scheduler noise, a stalled backend) may well succeed on the next;
+    the retry budget bounds how often that optimism is tested.
+    """
+
+
+class CheckpointError(ReproError):
+    """A run ledger could not be read, written, or understood."""
+
+
+class QuarantinedCellError(ReproError):
+    """A sweep cell failed permanently and was quarantined.
+
+    Raised by the resilient executor after retries are exhausted (or a
+    fatal error short-circuits them).  Sweep loops catch this, drop the
+    cell, and record it in the experiment's provenance; ``key`` and
+    ``cause`` identify what was lost and why.
+    """
+
+    def __init__(self, key: str, cause: BaseException) -> None:
+        super().__init__(f"cell {key!r} quarantined: {cause!r}")
+        self.key = key
+        self.cause = cause

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 
 from ..core.session import Session
+from ..resilience.executor import current_context
 from ..video import vbench
 
 #: The five encoders, in the paper's customary order.
@@ -49,5 +50,15 @@ def sweep_presets() -> tuple[int, ...]:
 
 
 def make_session() -> Session:
-    """Session sized for the current mode."""
-    return Session(num_frames=3 if fast_mode() else None)
+    """Session sized for the current mode.
+
+    When :func:`repro.experiments.run_experiment` installed an
+    execution context (``resume``/``max_retries``/``cell_timeout``),
+    its resilience guard is attached so every sweep cell runs under
+    the retry/timeout/checkpoint policies.
+    """
+    context = current_context()
+    return Session(
+        num_frames=3 if fast_mode() else None,
+        guard=context.guard if context is not None else None,
+    )

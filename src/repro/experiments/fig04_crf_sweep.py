@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..core.report import ExperimentResult, Series, Table
 from ..core.session import Session
+from ..core.sweeps import sweep_cells
 from .common import make_session, sweep_crfs, sweep_videos
 
 EXPERIMENT_ID = "fig04"
@@ -18,14 +19,22 @@ PRESET = 4
 
 
 def run(session: Session | None = None) -> ExperimentResult:
-    """Sweep CRF for every video; produce the three panels' series."""
+    """Sweep CRF for every video; produce the three panels' series.
+
+    Quarantined cells (permanent failures under a resilient session)
+    drop out of their video's series and table rows; the surviving
+    grid is reported intact.
+    """
     session = session or make_session()
     rows = []
     series = []
     for video in sweep_videos():
+        crfs, reports = sweep_cells(
+            sweep_crfs(),
+            lambda crf: session.report("svt-av1", video, crf, PRESET),
+        )
         insts, times, ipcs = [], [], []
-        for crf in sweep_crfs():
-            report = session.report("svt-av1", video, crf, PRESET)
+        for crf, report in zip(crfs, reports):
             insts.append(report.instructions)
             times.append(report.time_seconds)
             ipcs.append(report.ipc)
@@ -33,9 +42,10 @@ def run(session: Session | None = None) -> ExperimentResult:
                 (video, crf, report.instructions, report.time_seconds,
                  round(report.ipc, 3))
             )
-        series.append(Series(name=f"insts:{video}", x=sweep_crfs(), y=tuple(insts)))
-        series.append(Series(name=f"time:{video}", x=sweep_crfs(), y=tuple(times)))
-        series.append(Series(name=f"ipc:{video}", x=sweep_crfs(), y=tuple(ipcs)))
+        xs = tuple(crfs)
+        series.append(Series(name=f"insts:{video}", x=xs, y=tuple(insts)))
+        series.append(Series(name=f"time:{video}", x=xs, y=tuple(times)))
+        series.append(Series(name=f"ipc:{video}", x=xs, y=tuple(ipcs)))
     table = Table(
         title="Fig 4: CRF sweep (speed preset 4)",
         headers=("video", "crf", "instructions", "time_s", "ipc"),

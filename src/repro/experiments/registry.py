@@ -3,14 +3,30 @@
 ``run_experiment("fig05")`` regenerates the corresponding artifact;
 :data:`EXPERIMENTS` maps every id to its runner and is what the
 benchmark harness iterates.
+
+``run_experiment`` is also the resilience entry point: the
+``resume``/``max_retries``/``cell_timeout``/``ledger_path`` keywords
+build an :class:`~repro.resilience.ExecutionPolicy`, install it for
+the duration of the run (every sweep cell then executes under retry/
+deadline/checkpoint policies), and record what happened — resumed,
+retried and quarantined cells — in the result's ``provenance``.
 """
 
 from __future__ import annotations
 
+import os
+import re
 from typing import Callable
 
 from ..core.report import ExperimentResult
 from ..errors import ExperimentError
+from ..resilience.executor import (
+    ExecutionContext,
+    ExecutionPolicy,
+    activate,
+)
+from ..resilience.faults import FaultPlan
+from ..resilience.policy import NO_RETRY, RetryPolicy
 from . import (
     fig01_runtime,
     fig02_quality,
@@ -54,8 +70,69 @@ def experiment_ids() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Regenerate one table/figure by id."""
+def default_ledger_path(experiment_id: str) -> str:
+    """Where a run checkpoints when no explicit path is given.
+
+    ``REPRO_LEDGER_DIR`` overrides the default ``.repro/ledgers``
+    directory under the current working directory.
+    """
+    base = os.environ.get(
+        "REPRO_LEDGER_DIR", os.path.join(".repro", "ledgers")
+    )
+    return os.path.join(base, f"{experiment_id}.jsonl")
+
+
+_UNEXPECTED_KWARG = re.compile(r"unexpected keyword argument '([^']+)'")
+
+
+def _call_runner(
+    experiment_id: str, runner: Callable[..., ExperimentResult], kwargs: dict
+) -> ExperimentResult:
+    """Invoke a runner, surfacing bad keywords as ExperimentError."""
+    try:
+        return runner(**kwargs)
+    except TypeError as exc:
+        match = _UNEXPECTED_KWARG.search(str(exc))
+        if match is None:
+            raise
+        raise ExperimentError(
+            f"experiment {experiment_id!r} does not accept the "
+            f"keyword argument {match.group(1)!r}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    resume: bool = False,
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
+    ledger_path: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Regenerate one table/figure by id.
+
+    Parameters
+    ----------
+    resume:
+        Replay cells already checkpointed in the ledger instead of
+        re-executing them (implies checkpointing).
+    max_retries:
+        Per-cell retries for transient failures (exponential backoff).
+    cell_timeout:
+        Per-cell watchdog deadline in seconds.
+    ledger_path:
+        Where to checkpoint completed cells (JSONL).  Defaults to
+        :func:`default_ledger_path` whenever ``resume`` is set.
+    fault_plan:
+        Explicit fault-injection plan (testing); by default the
+        process-wide ``REPRO_FAULT_PLAN`` plan applies.
+    kwargs:
+        Forwarded to the experiment runner (``session=``, figure
+        selection, ...); unknown names raise
+        :class:`~repro.errors.ExperimentError`.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -63,4 +140,32 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; known: "
             f"{', '.join(EXPERIMENTS)}"
         ) from None
-    return runner(**kwargs)
+
+    resilient = (
+        resume
+        or max_retries is not None
+        or cell_timeout is not None
+        or ledger_path is not None
+        or fault_plan is not None
+    )
+    if not resilient:
+        return _call_runner(experiment_id, runner, kwargs)
+
+    if resume and ledger_path is None:
+        ledger_path = default_ledger_path(experiment_id)
+    policy = ExecutionPolicy(
+        retry=(
+            RetryPolicy(max_retries=max_retries)
+            if max_retries is not None
+            else NO_RETRY
+        ),
+        cell_timeout=cell_timeout,
+        ledger_path=ledger_path,
+        resume=resume,
+        faults=fault_plan,
+    )
+    context = ExecutionContext(policy, experiment_id=experiment_id)
+    with activate(context):
+        result = _call_runner(experiment_id, runner, kwargs)
+    result.provenance.update(context.guard.provenance())
+    return result

@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..resilience.faults import fault_point
 
 
 @dataclass
@@ -122,6 +123,7 @@ class TaskGraph:
         """
         if workers < 1:
             raise SimulationError("need at least one worker")
+        fault_point(f"sim:schedule:{workers}:{len(self.tasks)}")
         indegree = {n: len(t.deps) for n, t in self.tasks.items()}
         dependants: dict[str, list[str]] = {n: [] for n in self.tasks}
         for name, task in self.tasks.items():

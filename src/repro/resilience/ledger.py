@@ -1,0 +1,136 @@
+"""The checkpointing run ledger: one JSONL record per finished cell.
+
+A sweep writes a :class:`LedgerRecord` the moment each cell completes
+(successfully or quarantined), so a killed run leaves behind exactly
+the set of cells it finished.  ``run_experiment(..., resume=True)``
+reloads the ledger and replays successful cells from their serialized
+payloads instead of re-executing them; quarantined cells are *not*
+replayed, so a resumed run gets a fresh chance at them.
+
+The format is deliberately dumb — one self-describing JSON object per
+line, append-only, schema-versioned — because the ledger must survive
+being killed mid-write: a torn final line is expected and ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator
+
+from ..errors import CheckpointError
+
+#: Bump when the record layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+OK = "ok"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """Outcome of one sweep cell, as persisted."""
+
+    cell_key: str
+    status: str                      # "ok" | "quarantined"
+    experiment_id: str = ""
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    error: str | None = None
+    payload: Any = None              # serialized cell result when ok
+    schema_version: int = LEDGER_SCHEMA_VERSION
+
+    def to_line(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_line(cls, line: str) -> "LedgerRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt ledger line: {line[:80]!r}") from exc
+        if not isinstance(data, dict) or "cell_key" not in data:
+            raise CheckpointError(f"malformed ledger record: {line[:80]!r}")
+        version = data.get("schema_version", 0)
+        if version != LEDGER_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"ledger schema version {version} unsupported "
+                f"(expected {LEDGER_SCHEMA_VERSION})"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class RunLedger:
+    """Append-only JSONL ledger of completed sweep cells."""
+
+    path: str
+    _records: list[LedgerRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create ledger directory {parent!r}: {exc}"
+            ) from exc
+        if os.path.exists(self.path):
+            self._records = list(self._read())
+
+    def _read(self) -> Iterator[LedgerRecord]:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read ledger {self.path!r}: {exc}"
+            ) from exc
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield LedgerRecord.from_line(line)
+            except CheckpointError:
+                # A torn final line is the expected signature of a
+                # killed run; corruption anywhere else is a real error.
+                if index == len(lines) - 1:
+                    continue
+                raise
+
+    def append(self, record: LedgerRecord) -> None:
+        """Durably append one record (flushed before returning)."""
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(record.to_line() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to ledger {self.path!r}: {exc}"
+            ) from exc
+        self._records.append(record)
+
+    def records(self) -> list[LedgerRecord]:
+        """All records, oldest first."""
+        return list(self._records)
+
+    def completed_payloads(self) -> dict[str, Any]:
+        """cell_key -> payload for every successful cell.
+
+        Later records win, so a cell re-executed after an earlier
+        quarantine resolves to its most recent outcome.
+        """
+        latest: dict[str, LedgerRecord] = {}
+        for record in self._records:
+            latest[record.cell_key] = record
+        return {
+            key: record.payload
+            for key, record in latest.items()
+            if record.status == OK
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)

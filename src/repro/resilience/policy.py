@@ -1,0 +1,102 @@
+"""Retry policies: what to retry, how often, and how long to wait.
+
+A :class:`RetryPolicy` is pure arithmetic — the executor in
+:mod:`repro.resilience.executor` owns the loop and the clock — so the
+backoff schedule can be unit-tested without sleeping.  Jitter is
+*deterministic*: it is derived by hashing the cell key and attempt
+number, so a re-run of the same sweep produces the same schedule
+(reproducibility is the whole point of this repository).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import FatalError, TransientError
+
+#: Classification outcomes for :func:`classify_error`.
+TRANSIENT = "transient"
+FATAL = "fatal"
+
+
+def classify_error(error: BaseException) -> str:
+    """Sort an exception into ``"transient"`` or ``"fatal"``.
+
+    The repository's own :class:`~repro.errors.TransientError` family
+    (including cell timeouts) and the interpreter's resource-pressure
+    errors are worth retrying; everything else — model bugs, bad
+    configuration, :class:`~repro.errors.FatalError` — is permanent and
+    retrying would only waste the budget.
+    """
+    if isinstance(error, FatalError):
+        return FATAL
+    if isinstance(error, (TransientError, TimeoutError, ConnectionError,
+                          MemoryError, BlockingIOError)):
+        return TRANSIENT
+    return FATAL
+
+
+def _jitter_fraction(key: str, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for one attempt."""
+    digest = hashlib.sha256(f"{key}#{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, deterministic jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-attempts *after* the first try (0 disables retrying).
+    base_delay:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Growth factor per further retry.
+    max_delay:
+        Ceiling on any single delay.
+    jitter:
+        Fractional spread: each delay is scaled into
+        ``[1 - jitter, 1 + jitter]`` by the key/attempt hash.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (0-based) of ``key``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        spread = 2.0 * self.jitter * _jitter_fraction(key, attempt)
+        return raw * (1.0 - self.jitter + spread)
+
+    def schedule(self, key: str = "") -> list[float]:
+        """The full delay sequence a cell could experience."""
+        return [self.delay(attempt, key) for attempt in range(self.max_retries)]
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may be retried."""
+        return attempt < self.max_retries and classify_error(error) == TRANSIENT
+
+
+#: Policy that never retries — the executor's behaviour when the user
+#: asked for checkpointing or timeouts but not retries.
+NO_RETRY = RetryPolicy(max_retries=0)

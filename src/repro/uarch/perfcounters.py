@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..codecs.base import EncodeResult
 from ..errors import SimulationError
+from ..resilience.faults import fault_point
 from ..trace.instruction import InstrClass
 from .branch.base import run_trace
 from .branch.loopmodel import model_loops
@@ -171,6 +172,7 @@ def collect(
     """
     if pixel_scale <= 0 or duration_scale <= 0:
         raise SimulationError("scales must be positive")
+    fault_point(f"sim:collect:{result.codec}:{result.video_name}")
     inst = result.instrumenter
     proxy_instructions = inst.total_instructions
     native_instructions = proxy_instructions * pixel_scale * duration_scale

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.cbp",
     "repro.parallel",
     "repro.profiling",
+    "repro.resilience",
     "repro.core",
     "repro.experiments",
 ]

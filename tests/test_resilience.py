@@ -1,0 +1,376 @@
+"""Unit tests for the resilience subsystem: policies, clocks, faults,
+ledger, watchdog and the cell executor.
+
+No test here sleeps for real except the watchdog tests, which stall a
+worker for a fraction of a second; retry/backoff timing is driven
+entirely through :class:`repro.resilience.FakeClock`.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import errors
+from repro.resilience import (
+    CellOutcome,
+    ExecutionPolicy,
+    FakeClock,
+    Fault,
+    FaultPlan,
+    InjectedFatalError,
+    InjectedTransientError,
+    LedgerRecord,
+    NO_RETRY,
+    ResilienceGuard,
+    RetryPolicy,
+    RunLedger,
+    call_with_deadline,
+    classify_error,
+    install,
+)
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = (
+        errors.VideoError,
+        errors.CodecError,
+        errors.TraceError,
+        errors.SimulationError,
+        errors.ExperimentError,
+        errors.TransientError,
+        errors.FatalError,
+        errors.CellTimeoutError,
+        errors.CheckpointError,
+    )
+
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_every_subclass_catchable_as_repro_error(self, cls):
+        with pytest.raises(errors.ReproError):
+            raise cls("boom")
+
+    def test_quarantine_carries_key_and_cause(self):
+        cause = errors.FatalError("inner")
+        exc = errors.QuarantinedCellError("cell:a", cause)
+        assert isinstance(exc, errors.ReproError)
+        assert exc.key == "cell:a"
+        assert exc.cause is cause
+
+    def test_timeout_is_transient(self):
+        assert issubclass(errors.CellTimeoutError, errors.TransientError)
+
+    @pytest.mark.parametrize(
+        "error,expected",
+        [
+            (errors.TransientError("x"), "transient"),
+            (errors.CellTimeoutError("x"), "transient"),
+            (TimeoutError("x"), "transient"),
+            (MemoryError(), "transient"),
+            (errors.FatalError("x"), "fatal"),
+            (errors.ExperimentError("x"), "fatal"),
+            (ValueError("x"), "fatal"),
+        ],
+    )
+    def test_classification(self, error, expected):
+        assert classify_error(error) == expected
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=0.1, multiplier=2.0, max_delay=0.5,
+            jitter=0.0,
+        )
+        assert policy.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_retries=4, base_delay=1.0, multiplier=1.0,
+                             jitter=0.25)
+        first = policy.schedule("cell:a")
+        assert first == policy.schedule("cell:a")
+        assert first != policy.schedule("cell:b")
+        for delay in first:
+            assert 0.75 <= delay <= 1.25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_should_retry_respects_budget_and_class(self):
+        policy = RetryPolicy(max_retries=2)
+        transient = errors.TransientError("x")
+        assert policy.should_retry(transient, 0)
+        assert policy.should_retry(transient, 1)
+        assert not policy.should_retry(transient, 2)
+        assert not policy.should_retry(errors.FatalError("x"), 0)
+        assert not NO_RETRY.should_retry(transient, 0)
+
+
+class TestFakeClockBackoffTiming:
+    def test_executor_sleeps_exactly_the_schedule(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=3, base_delay=0.2, multiplier=2.0,
+                             jitter=0.0)
+        guard = ResilienceGuard(
+            ExecutionPolicy(retry=policy, clock=clock)
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise errors.TransientError("not yet")
+            return "done"
+
+        assert guard.run_cell("cell:flaky", flaky) == "done"
+        assert clock.sleeps == [0.2, 0.4, 0.8]
+        assert len(attempts) == 4
+        (outcome,) = guard.outcomes
+        assert outcome.status == "ok" and outcome.attempts == 4
+
+    def test_no_real_sleep_occurs(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=5, base_delay=10.0, jitter=0.0)
+        guard = ResilienceGuard(ExecutionPolicy(retry=policy, clock=clock))
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 6:
+                raise errors.TransientError("again")
+            return state["n"]
+
+        started = time.monotonic()
+        assert guard.run_cell("cell:slow", flaky) == 6
+        assert time.monotonic() - started < 1.0  # 50 fake seconds elapsed
+        assert clock.now == pytest.approx(sum(clock.sleeps))
+
+
+class TestWatchdog:
+    def test_timeout_raises_cell_timeout(self):
+        with pytest.raises(errors.CellTimeoutError):
+            call_with_deadline(lambda: time.sleep(0.5), 0.05, key="stuck")
+
+    def test_fast_call_passes_value_and_errors_through(self):
+        assert call_with_deadline(lambda: 7, 1.0) == 7
+        with pytest.raises(ValueError):
+            call_with_deadline(lambda: (_ for _ in ()).throw(ValueError("x")),
+                               1.0)
+
+    def test_none_means_no_watchdog(self):
+        assert call_with_deadline(lambda: 3, None) == 3
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            call_with_deadline(lambda: 1, 0)
+
+    def test_timed_out_cell_retries_then_succeeds(self):
+        state = {"n": 0}
+
+        def sometimes_slow():
+            state["n"] += 1
+            if state["n"] == 1:
+                time.sleep(0.5)
+            return state["n"]
+
+        guard = ResilienceGuard(
+            ExecutionPolicy(
+                retry=RetryPolicy(max_retries=1, base_delay=0.0, jitter=0.0),
+                cell_timeout=0.1,
+            )
+        )
+        assert guard.run_cell("cell:slowstart", sometimes_slow) == 2
+
+
+class TestFaultPlan:
+    def test_parse_and_per_site_counting(self):
+        plan = FaultPlan.parse("work:*@transient@times=2")
+        for _ in range(2):
+            with pytest.raises(InjectedTransientError):
+                plan.check("work:a")
+        plan.check("work:a")  # budget exhausted, no raise
+        with pytest.raises(InjectedTransientError):
+            plan.check("work:b")  # independent per-site counter
+
+    def test_unlimited_and_fatal(self):
+        plan = FaultPlan.parse("x@fatal@times=*")
+        for _ in range(5):
+            with pytest.raises(InjectedFatalError):
+                plan.check("x")
+
+    def test_stall_uses_injected_sleep(self):
+        plan = FaultPlan.parse("slow@stall@stall=0.7")
+        slept = []
+        plan.check("slow", sleep=slept.append)
+        assert slept == [0.7]
+        plan.check("slow", sleep=slept.append)  # times=1 default
+        assert slept == [0.7]
+
+    def test_probability_is_seeded_and_deterministic(self):
+        def arm_pattern(seed):
+            plan = FaultPlan.parse("p:*@transient@times=*@p=0.5", seed=seed)
+            hits = []
+            for i in range(40):
+                try:
+                    plan.check(f"p:{i}")
+                    hits.append(False)
+                except InjectedTransientError:
+                    hits.append(True)
+            return hits
+
+        assert arm_pattern(1) == arm_pattern(1)
+        assert arm_pattern(1) != arm_pattern(2)
+        assert 5 < sum(arm_pattern(1)) < 35  # roughly half arm
+
+    def test_non_matching_sites_untouched(self):
+        plan = FaultPlan.parse("cell:svt-av1:*@transient")
+        plan.check("cell:x264:desktop:10:4")  # no raise
+
+    def test_bad_specs_rejected(self):
+        for spec in ("justasite", "a@unknownkind", "a@transient@times",
+                     "a@transient@bogus=1"):
+            with pytest.raises(errors.ExperimentError):
+                FaultPlan.parse(spec)
+
+    def test_install_and_reset(self):
+        plan = FaultPlan(faults=[Fault(pattern="y", kind="transient")])
+        with install(plan):
+            from repro.resilience import active_plan
+
+            assert active_plan() is plan
+            with pytest.raises(InjectedTransientError):
+                plan.check("y")
+            plan.reset()
+            with pytest.raises(InjectedTransientError):
+                plan.check("y")
+
+
+class TestLedger:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(LedgerRecord(cell_key="a", status="ok", payload=1))
+        ledger.append(LedgerRecord(cell_key="b", status="quarantined",
+                                   error="boom"))
+        reloaded = RunLedger(str(path))
+        assert len(reloaded) == 2
+        assert reloaded.completed_payloads() == {"a": 1}
+
+    def test_later_records_win(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "run.jsonl"))
+        ledger.append(LedgerRecord(cell_key="a", status="quarantined"))
+        ledger.append(LedgerRecord(cell_key="a", status="ok", payload=2))
+        assert ledger.completed_payloads() == {"a": 2}
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(LedgerRecord(cell_key="a", status="ok", payload=1))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_key": "b", "stat')  # killed mid-write
+        reloaded = RunLedger(str(path))
+        assert [r.cell_key for r in reloaded.records()] == ["a"]
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        good = LedgerRecord(cell_key="a", status="ok").to_line()
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(errors.CheckpointError):
+            RunLedger(str(path))
+
+    def test_schema_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record = json.loads(LedgerRecord(cell_key="a", status="ok").to_line())
+        record["schema_version"] = 99
+        path.write_text(json.dumps(record) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(errors.CheckpointError):
+            RunLedger(str(path))
+
+
+class TestGuard:
+    def test_fatal_error_skips_retries(self):
+        clock = FakeClock()
+        guard = ResilienceGuard(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=5), clock=clock)
+        )
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise errors.FatalError("configured wrong")
+
+        with pytest.raises(errors.QuarantinedCellError):
+            guard.run_cell("cell:f", fatal)
+        assert len(calls) == 1
+        assert clock.sleeps == []
+        assert guard.quarantined_keys() == ["cell:f"]
+
+    def test_retries_exhausted_quarantines(self):
+        clock = FakeClock()
+        guard = ResilienceGuard(
+            ExecutionPolicy(
+                retry=RetryPolicy(max_retries=2, base_delay=0.1, jitter=0.0),
+                clock=clock,
+            )
+        )
+
+        def always_transient():
+            raise errors.TransientError("still down")
+
+        with pytest.raises(errors.QuarantinedCellError) as info:
+            guard.run_cell("cell:t", always_transient)
+        assert info.value.key == "cell:t"
+        assert len(clock.sleeps) == 2
+        (outcome,) = guard.outcomes
+        assert outcome.status == "quarantined" and outcome.attempts == 3
+
+    def test_checkpoint_and_resume_with_serializers(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        policy = ExecutionPolicy(ledger_path=path)
+        guard = ResilienceGuard(policy, experiment_id="exp")
+        guard.run_cell("cell:a", lambda: {"v": 1},
+                       serialize=lambda v: v["v"],
+                       deserialize=lambda p: {"v": p})
+
+        resumed = ResilienceGuard(
+            ExecutionPolicy(ledger_path=path, resume=True), "exp"
+        )
+        value = resumed.run_cell(
+            "cell:a", lambda: pytest.fail("must not re-execute"),
+            deserialize=lambda p: {"v": p},
+        )
+        assert value == {"v": 1}
+        assert resumed.outcomes[0].status == "resumed"
+        assert resumed.provenance()["resumed"] == 1
+
+    def test_quarantined_cells_are_not_resumed(self, tmp_path):
+        path = str(tmp_path / "cells.jsonl")
+        guard = ResilienceGuard(ExecutionPolicy(ledger_path=path))
+        with pytest.raises(errors.QuarantinedCellError):
+            guard.run_cell("cell:q",
+                           lambda: (_ for _ in ()).throw(
+                               errors.FatalError("down")))
+
+        retry_run = ResilienceGuard(
+            ExecutionPolicy(ledger_path=path, resume=True)
+        )
+        assert retry_run.run_cell("cell:q", lambda: 5) == 5
+        # Ledger now ends with a fresh ok record for the same cell.
+        assert RunLedger(path).completed_payloads() == {"cell:q": 5}
+
+    def test_provenance_summary_counts(self):
+        guard = ResilienceGuard(ExecutionPolicy(clock=FakeClock()))
+        guard.run_cell("cell:1", lambda: 1)
+        guard.run_cell("cell:2", lambda: 2)
+        summary = guard.provenance()
+        assert summary["cells"] == 2
+        assert summary["executed"] == 2
+        assert summary["quarantined"] == []
+
+    def test_outcome_dataclass_defaults(self):
+        outcome = CellOutcome(key="k", status="ok")
+        assert outcome.attempts == 1 and outcome.error is None
