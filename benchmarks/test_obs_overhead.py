@@ -1,0 +1,68 @@
+"""Micro-benchmark: the disabled tracer must be free on ``sweep_cells``.
+
+The instrumentation contract (see ``repro.obs.span``) is that an
+uninstalled tracer costs one module-global read per span site.  This
+guards it: a grid swept through the instrumented ``sweep_cells`` must
+run within 5% of an uninstrumented replica of the same loop.
+
+Timing uses best-of-N over a few hundred cells of non-trivial work, so
+scheduler noise doesn't drown the signal; the assertion is on the
+ratio, never on absolute time.
+"""
+
+import time
+
+from repro.core.sweeps import sweep_cells
+from repro.errors import QuarantinedCellError
+from repro.obs.span import active_tracer
+
+N_CELLS = 200
+BEST_OF = 7
+
+
+def _work(point):
+    """One synthetic sweep cell: enough arithmetic to be a real load."""
+    total = 0.0
+    for i in range(400):
+        total += (point + i) * 0.5 % 7.0
+    return total
+
+
+def _sweep_baseline(points, run):
+    """``sweep_cells`` with the instrumentation stripped out."""
+    kept_points, kept_results = [], []
+    for index, point in enumerate(points):
+        try:
+            result = run(point)
+        except QuarantinedCellError:
+            continue
+        kept_points.append(point)
+        kept_results.append(result)
+    return kept_points, kept_results
+
+
+def _best_of(fn):
+    best = float("inf")
+    for _ in range(BEST_OF):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_overhead_under_five_percent():
+    assert active_tracer() is None, "benchmark requires tracing disabled"
+    points = list(range(N_CELLS))
+
+    # Warm both paths before timing.
+    sweep_cells(points, _work)
+    _sweep_baseline(points, _work)
+
+    instrumented = _best_of(lambda: sweep_cells(points, _work))
+    baseline = _best_of(lambda: _sweep_baseline(points, _work))
+
+    ratio = instrumented / baseline
+    assert ratio < 1.05, (
+        f"disabled-tracer sweep_cells is {ratio:.3f}x the no-obs "
+        f"baseline ({instrumented * 1e3:.2f}ms vs {baseline * 1e3:.2f}ms)"
+    )

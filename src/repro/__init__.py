@@ -15,6 +15,8 @@ The library is organised as the paper's toolchain is:
 - :mod:`repro.profiling` — gprof/perf-style report front-ends.
 - :mod:`repro.resilience` — retry/timeout policies, checkpointed
   sweeps with resume, and deterministic fault injection.
+- :mod:`repro.obs` — structured observability: span tracing, a
+  metrics registry, and Chrome-trace/JSONL run-trace export.
 - :mod:`repro.core` — the characterization methodology: single-encode
   characterization and CRF/preset/thread sweeps.
 - :mod:`repro.experiments` — one entry per paper table/figure.
@@ -35,6 +37,7 @@ from . import (  # noqa: F401  (subpackages re-exported)
     core,
     errors,
     experiments,
+    obs,
     parallel,
     profiling,
     resilience,

@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's workflows:
+Four commands cover the library's workflows:
 
 ``list``
     Show the available encoders, vbench clips and experiment ids.
 ``encode``
     Characterize one encode and print the perf-style report.
 ``experiment``
-    Regenerate a paper table/figure and print its rows/series.
+    Regenerate a paper table/figure and print its rows/series;
+    ``--trace-out``/``--metrics-json``/``--span-log`` capture the
+    run's telemetry artifacts.
+``trace``
+    Validate a captured Chrome trace or summarise a span log.
 """
 
 from __future__ import annotations
@@ -18,8 +22,14 @@ from typing import Sequence
 
 from .codecs import encoder_names
 from .core import characterize, format_result
-from .errors import ReproError
+from .errors import ObservabilityError, ReproError
 from .experiments import experiment_ids, run_experiment
+from .obs import events as obs_events
+from .obs.export import (
+    read_span_log,
+    timing_summary,
+    validate_chrome_trace_file,
+)
 from .profiling import format_perf_report
 from .video import vbench
 
@@ -82,7 +92,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the result as schema-versioned JSON",
     )
+    experiment.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's spans as a Chrome Trace Event file "
+             "(open in Perfetto or about:tracing)",
+    )
+    experiment.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the run's metrics-registry snapshot as JSON",
+    )
+    experiment.add_argument(
+        "--span-log", default=None, metavar="PATH",
+        help="write the raw span/event JSONL log (default: alongside "
+             "the run ledger when one is in use)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="validate or summarise captured run telemetry"
+    )
+    trace.add_argument(
+        "--validate", default=None, metavar="TRACE_JSON",
+        help="schema-check a Chrome Trace Event file",
+    )
+    trace.add_argument(
+        "--summary", default=None, metavar="SPANS_JSONL",
+        help="print a hierarchical timing summary of a span log",
+    )
     return parser
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """``repro trace``: artifact validation and summaries."""
+    if args.validate is None and args.summary is None:
+        print("error: trace requires --validate and/or --summary",
+              file=sys.stderr)
+        return 2
+    if args.validate is not None:
+        problems = validate_chrome_trace_file(args.validate)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 2
+        print(f"{args.validate}: valid Chrome Trace Event file")
+    if args.summary is not None:
+        try:
+            spans, events = read_span_log(args.summary)
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(timing_summary(spans, title=args.summary))
+        warnings = [e for e in events if e.level == "warning"]
+        if warnings:
+            print(f"{len(warnings)} warning event(s):")
+            for event in warnings:
+                print(f"  [{event.kind}] {event.message}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -111,6 +175,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 max_retries=args.max_retries,
                 cell_timeout=args.cell_timeout,
                 ledger_path=args.ledger,
+                trace_out=args.trace_out,
+                metrics_json=args.metrics_json,
+                span_log=args.span_log,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -119,9 +186,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         quarantined = result.provenance.get("quarantined", [])
         if quarantined:
             cells = ", ".join(q["cell"] for q in quarantined)
-            print(f"warning: {len(quarantined)} cell(s) quarantined: {cells}",
-                  file=sys.stderr)
+            obs_events.warn(
+                "quarantine",
+                f"{len(quarantined)} cell(s) quarantined: {cells}",
+                experiment=args.id,
+                cells=[q["cell"] for q in quarantined],
+            )
         return 0
+
+    if args.command == "trace":
+        return _run_trace_command(args)
 
     return 1  # pragma: no cover - argparse enforces the choices
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.span import trace_span
 from ..trace.instrument import Instrumenter, PlaneHandle
 from ..video.frame import Frame, Video
 from ..video.metrics import frame_psnr, sequence_psnr
@@ -209,7 +210,10 @@ class _EncodeRun:
     # ------------------------------------------------------------------
     def execute(self) -> EncodeResult:
         for frame in self.video:
-            self._encode_frame(frame)
+            with trace_span(
+                "stage.frame", codec=self.spec.name, frame=frame.index,
+            ):
+                self._encode_frame(frame)
         recon_video = Video(
             self.recon_frames, fps=self.video.fps, name=self.video.name
         )
@@ -254,31 +258,38 @@ class _EncodeRun:
 
         height, width = self.src.shape
         sb_index = 0
-        for row in range(0, height, self.sb):
-            for col in range(0, width, self.sb):
-                sb_start = inst.total_instructions
-                rect = BlockRect(row, col, self.sb, self.sb)
-                # Leaf evaluations are shared between partition shapes
-                # that produce the same sub-rectangle (e.g. SPLIT's
-                # quadrants and HORZ_A's squares), exactly as real
-                # encoders reuse mode-decision results.
-                self._leaf_cache = {}
-                self._energy_cache = {}
-                with inst.function(f"{self.spec.family}.encode_superblock"):
-                    plan = self._search_partition(rect, depth=0)
-                    frame_bits += self._apply_plan(plan)
-                    frame_bits += self._code_chroma_block(frame, rect)
-                self.tasks.append(
-                    TaskRecord(
-                        frame=frame.index,
-                        kind="superblock",
-                        index=sb_index,
-                        instructions=inst.total_instructions - sb_start,
-                        row=row,
-                        col=col,
+        with trace_span(
+            "stage.superblocks",
+            frame=frame.index,
+            rows=(height + self.sb - 1) // self.sb,
+        ):
+            for row in range(0, height, self.sb):
+                for col in range(0, width, self.sb):
+                    sb_start = inst.total_instructions
+                    rect = BlockRect(row, col, self.sb, self.sb)
+                    # Leaf evaluations are shared between partition
+                    # shapes that produce the same sub-rectangle (e.g.
+                    # SPLIT's quadrants and HORZ_A's squares), exactly
+                    # as real encoders reuse mode-decision results.
+                    self._leaf_cache = {}
+                    self._energy_cache = {}
+                    with inst.function(
+                        f"{self.spec.family}.encode_superblock"
+                    ):
+                        plan = self._search_partition(rect, depth=0)
+                        frame_bits += self._apply_plan(plan)
+                        frame_bits += self._code_chroma_block(frame, rect)
+                    self.tasks.append(
+                        TaskRecord(
+                            frame=frame.index,
+                            kind="superblock",
+                            index=sb_index,
+                            instructions=inst.total_instructions - sb_start,
+                            row=row,
+                            col=col,
+                        )
                     )
-                )
-                sb_index += 1
+                    sb_index += 1
 
         frame_bits += self._finish_frame(frame)
         frame_bits *= self.spec.bitstream_efficiency
@@ -309,7 +320,8 @@ class _EncodeRun:
         """Loop filter, stream flush and per-frame admin work."""
         inst = self.inst
         filter_start = inst.total_instructions
-        with inst.function(f"{self.spec.family}.loop_filter"):
+        with trace_span("stage.loop_filter", frame=frame.index), \
+                inst.function(f"{self.spec.family}.loop_filter"):
             self._loop_filter()
         self.tasks.append(
             TaskRecord(
@@ -320,7 +332,8 @@ class _EncodeRun:
             )
         )
         admin_start = inst.total_instructions
-        with inst.function(f"{self.spec.family}.frame_admin"):
+        with trace_span("stage.frame_admin", frame=frame.index), \
+                inst.function(f"{self.spec.family}.frame_admin"):
             pixels = self.src.size
             inst.kernel("frame_admin", pixels)
             inst.touch(self.src_plane, 0, self.src.shape[0], 0,
@@ -336,7 +349,8 @@ class _EncodeRun:
         # Flush the arithmetic coder; header overhead per frame.
         stream = self.bool_encoder.finish()
         entropy_start = inst.total_instructions
-        with inst.function(f"{self.spec.family}.entropy_flush"):
+        with trace_span("stage.entropy_flush", frame=frame.index), \
+                inst.function(f"{self.spec.family}.entropy_flush"):
             inst.kernel("entropy_bin", self.frame_symbol_count)
         self.tasks.append(
             TaskRecord(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..codecs import create_encoder
 from ..codecs.base import EncodeResult, Encoder
 from ..errors import ExperimentError
+from ..obs.span import trace_span
 from ..resilience.faults import fault_point
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport, collect
@@ -76,18 +77,24 @@ def characterize(
             else vbench.load(video)
         )
     scale_h, scale_w, pixel_scale, duration_scale = workload_scales(video)
-    fault_point(f"encode:{encoder.name}:{video.name}")
-    result: EncodeResult = encoder.encode(
-        video, footprint_scale=(scale_h, scale_w)
-    )
-    return collect(
-        result,
-        machine=machine,
-        pixel_scale=pixel_scale,
-        duration_scale=duration_scale,
-        bitrate_scale=1.0,
-        cache_sample_period=cache_sample_period,
-    )
+    with trace_span(
+        "characterize", codec=encoder.name, video=video.name,
+        frames=video.num_frames,
+    ):
+        fault_point(f"encode:{encoder.name}:{video.name}")
+        with trace_span("encode", codec=encoder.name, video=video.name):
+            result: EncodeResult = encoder.encode(
+                video, footprint_scale=(scale_h, scale_w)
+            )
+        with trace_span("measure", codec=encoder.name, video=video.name):
+            return collect(
+                result,
+                machine=machine,
+                pixel_scale=pixel_scale,
+                duration_scale=duration_scale,
+                bitrate_scale=1.0,
+                cache_sample_period=cache_sample_period,
+            )
 
 
 def encode_workload(
@@ -110,4 +117,5 @@ def encode_workload(
     scale_h, scale_w, _, _ = workload_scales(video)
     encoder = create_encoder(encoder_name, crf=crf, preset=preset)
     fault_point(f"encode:{encoder_name}:{video_name}")
-    return encoder.encode(video, footprint_scale=(scale_h, scale_w))
+    with trace_span("encode", codec=encoder_name, video=video_name):
+        return encoder.encode(video, footprint_scale=(scale_h, scale_w))

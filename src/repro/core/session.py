@@ -12,11 +12,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..codecs.base import EncodeResult
+from ..obs.context import current_obs
+from ..obs.metrics import RATE_BUCKETS
+from ..obs.span import trace_span
 from ..resilience.executor import ResilienceGuard
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport
 from .characterize import characterize, encode_workload
 from .serialize import from_jsonable, to_jsonable
+
+
+def _record_report_metrics(report: PerfReport) -> None:
+    """Feed one cell's simulator event rates to the metrics registry.
+
+    No-op without an active observability context; the registry then
+    carries the cache/branch behaviour of every executed cell so a
+    run's ``--metrics-json`` artifact summarises the whole sweep.
+    """
+    obs = current_obs()
+    if obs is None:
+        return
+    metrics = obs.metrics
+    metrics.counter("sim.instructions").inc(report.instructions)
+    metrics.counter("sim.cycles").inc(report.cycles)
+    metrics.histogram("sim.ipc", RATE_BUCKETS + (2.0, 4.0, 8.0)).observe(
+        report.ipc
+    )
+    metrics.histogram("branch.miss_rate", RATE_BUCKETS).observe(
+        report.branch.miss_rate
+    )
+    metrics.histogram("branch.mpki").observe(report.branch.mpki)
+    for level, mpki in report.cache_mpki.items():
+        metrics.histogram(f"cache.mpki.{level}").observe(mpki)
 
 
 @dataclass(frozen=True)
@@ -75,15 +102,20 @@ class Session:
                 codec, video, machine=self.machine, crf=crf, preset=preset,
                 num_frames=self.num_frames,
             )
-            if self.guard is not None:
-                cached = self.guard.run_cell(
-                    self.cell_key(key),
-                    compute,
-                    serialize=to_jsonable,
-                    deserialize=from_jsonable,
-                )
-            else:
-                cached = compute()
+            with trace_span(
+                "cell", key=self.cell_key(key), codec=codec, video=video,
+                crf=crf, preset=preset,
+            ):
+                if self.guard is not None:
+                    cached = self.guard.run_cell(
+                        self.cell_key(key),
+                        compute,
+                        serialize=to_jsonable,
+                        deserialize=from_jsonable,
+                    )
+                else:
+                    cached = compute()
+            _record_report_metrics(cached)
             self._reports[key] = cached
         return cached
 

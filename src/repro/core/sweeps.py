@@ -12,6 +12,7 @@ from typing import Callable, Iterable, TypeVar
 
 from ..codecs import SPECS
 from ..errors import ExperimentError, QuarantinedCellError
+from ..obs.span import trace_span
 from ..parallel.scaling import ScalingCurve, thread_scaling, topdown_with_threads
 from ..uarch.perfcounters import PerfReport
 from ..uarch.topdown import TopDown
@@ -42,9 +43,10 @@ def sweep_cells(
     """
     kept_points: list[_P] = []
     kept_results: list[_R] = []
-    for point in points:
+    for index, point in enumerate(points):
         try:
-            result = run(point)
+            with trace_span("sweep.cell", point=str(point), index=index):
+                result = run(point)
         except QuarantinedCellError:
             continue
         kept_points.append(point)

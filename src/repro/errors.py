@@ -79,3 +79,13 @@ class QuarantinedCellError(ReproError):
         super().__init__(f"cell {key!r} quarantined: {cause!r}")
         self.key = key
         self.cause = cause
+
+
+class ObservabilityError(ReproError):
+    """A telemetry artifact could not be produced or understood.
+
+    Raised for unwritable/corrupt span logs and trace exports and for
+    metrics-registry misuse (conflicting histogram buckets, negative
+    counter increments).  Never raised from instrumentation *sites* —
+    tracing a span or bumping a counter cannot fail an experiment.
+    """

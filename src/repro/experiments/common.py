@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 
 from ..core.session import Session
+from ..obs.span import trace_span
 from ..resilience.executor import current_context
 from ..video import vbench
 
@@ -57,8 +58,9 @@ def make_session() -> Session:
     its resilience guard is attached so every sweep cell runs under
     the retry/timeout/checkpoint policies.
     """
-    context = current_context()
-    return Session(
-        num_frames=3 if fast_mode() else None,
-        guard=context.guard if context is not None else None,
-    )
+    with trace_span("make_session", fast=fast_mode()):
+        context = current_context()
+        return Session(
+            num_frames=3 if fast_mode() else None,
+            guard=context.guard if context is not None else None,
+        )

@@ -10,6 +10,14 @@ build an :class:`~repro.resilience.ExecutionPolicy`, install it for
 the duration of the run (every sweep cell then executes under retry/
 deadline/checkpoint policies), and record what happened — resumed,
 retried and quarantined cells — in the result's ``provenance``.
+
+And it is the observability entry point: every run installs an
+:class:`~repro.obs.ObsContext` (span tracer, metrics registry,
+structured event log) mirroring the resilience context, summarises the
+run in ``provenance["telemetry"]``, and exports on request — a Chrome
+Trace Event file (``trace_out``), a metrics snapshot
+(``metrics_json``) and a span JSONL log (``span_log``, defaulting to a
+sibling of the run ledger).
 """
 
 from __future__ import annotations
@@ -19,7 +27,10 @@ import re
 from typing import Callable
 
 from ..core.report import ExperimentResult
-from ..errors import ExperimentError
+from ..errors import ExperimentError, ObservabilityError
+from ..obs import events as obs_events
+from ..obs.context import ObsContext, activate_obs
+from ..obs.export import write_chrome_trace, write_span_log
 from ..resilience.executor import (
     ExecutionContext,
     ExecutionPolicy,
@@ -101,6 +112,12 @@ def _call_runner(
         ) from None
 
 
+def default_span_log_path(ledger_path: str) -> str:
+    """Span-log path riding alongside a run ledger."""
+    stem, _ = os.path.splitext(ledger_path)
+    return f"{stem}.spans.jsonl"
+
+
 def run_experiment(
     experiment_id: str,
     *,
@@ -109,6 +126,10 @@ def run_experiment(
     cell_timeout: float | None = None,
     ledger_path: str | None = None,
     fault_plan: FaultPlan | None = None,
+    trace_out: str | None = None,
+    metrics_json: str | None = None,
+    span_log: str | None = None,
+    obs: ObsContext | None = None,
     **kwargs,
 ) -> ExperimentResult:
     """Regenerate one table/figure by id.
@@ -128,10 +149,29 @@ def run_experiment(
     fault_plan:
         Explicit fault-injection plan (testing); by default the
         process-wide ``REPRO_FAULT_PLAN`` plan applies.
+    trace_out:
+        Write the run's spans as a Chrome Trace Event file here
+        (loadable in Perfetto / ``about:tracing``).
+    metrics_json:
+        Write the run's metrics-registry snapshot as JSON here.
+    span_log:
+        Write the raw span/event JSONL log here.  Defaults to a
+        ``<experiment>.spans.jsonl`` sibling of the run ledger
+        whenever one is in use.
+    obs:
+        An explicit :class:`~repro.obs.ObsContext` to collect into
+        (testing — e.g. with a fake clock); one is created per run
+        otherwise.
     kwargs:
         Forwarded to the experiment runner (``session=``, figure
         selection, ...); unknown names raise
         :class:`~repro.errors.ExperimentError`.
+
+    Every run executes under an installed observability context: spans
+    cover the session, each sweep cell, each retry attempt and each
+    codec pipeline stage, and the result's ``provenance["telemetry"]``
+    summarises per-cell durations plus retry/quarantine counters that
+    match the run ledger.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -148,24 +188,63 @@ def run_experiment(
         or ledger_path is not None
         or fault_plan is not None
     )
-    if not resilient:
-        return _call_runner(experiment_id, runner, kwargs)
-
     if resume and ledger_path is None:
         ledger_path = default_ledger_path(experiment_id)
-    policy = ExecutionPolicy(
-        retry=(
-            RetryPolicy(max_retries=max_retries)
-            if max_retries is not None
-            else NO_RETRY
-        ),
-        cell_timeout=cell_timeout,
-        ledger_path=ledger_path,
-        resume=resume,
-        faults=fault_plan,
-    )
-    context = ExecutionContext(policy, experiment_id=experiment_id)
-    with activate(context):
-        result = _call_runner(experiment_id, runner, kwargs)
-    result.provenance.update(context.guard.provenance())
+
+    obs_context = obs if obs is not None else ObsContext()
+    with activate_obs(obs_context):
+        with obs_context.tracer.span("session", experiment=experiment_id):
+            if not resilient:
+                result = _call_runner(experiment_id, runner, kwargs)
+                context = None
+            else:
+                policy = ExecutionPolicy(
+                    retry=(
+                        RetryPolicy(max_retries=max_retries)
+                        if max_retries is not None
+                        else NO_RETRY
+                    ),
+                    cell_timeout=cell_timeout,
+                    ledger_path=ledger_path,
+                    resume=resume,
+                    faults=fault_plan,
+                )
+                context = ExecutionContext(policy, experiment_id=experiment_id)
+                with activate(context):
+                    result = _call_runner(experiment_id, runner, kwargs)
+        if context is not None:
+            result.provenance.update(context.guard.provenance())
+            quarantined = context.guard.quarantined_keys()
+            if quarantined:
+                obs_events.emit(
+                    "experiment.quarantined",
+                    f"{experiment_id}: {len(quarantined)} cell(s) "
+                    f"quarantined",
+                    experiment=experiment_id,
+                    cells=quarantined,
+                )
+    result.provenance["telemetry"] = obs_context.telemetry_summary()
+
+    spans = obs_context.tracer.spans
+    if trace_out is not None:
+        write_chrome_trace(trace_out, spans)
+    if metrics_json is not None:
+        _write_metrics_json(metrics_json, obs_context)
+    if span_log is None and ledger_path is not None:
+        span_log = default_span_log_path(ledger_path)
+    if span_log is not None:
+        write_span_log(span_log, spans, obs_context.events.events)
     return result
+
+
+def _write_metrics_json(path: str, obs_context: ObsContext) -> None:
+    """Dump the run's metrics snapshot (``--metrics-json``)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(obs_context.metrics.to_json(indent=2) + "\n")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write metrics snapshot {path!r}: {exc}"
+        ) from exc

@@ -1,0 +1,121 @@
+"""The per-run observability context, mirroring ``ExecutionContext``.
+
+One :class:`ObsContext` bundles the three collectors — tracer, metrics
+registry, event log — and :func:`activate_obs` installs them as the
+process ambients for the duration of one ``run_experiment`` call,
+exactly as :func:`repro.resilience.executor.activate` installs the
+resilience context.  Instrumentation sites reach the collectors
+through the module-level helpers (``trace_span``, ``events.emit``,
+``current_obs().metrics``) and never hold references across runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..clock import SYSTEM_CLOCK, Clock
+from . import events as events_mod
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .span import Span, Tracer, install_tracer
+
+
+class ObsContext:
+    """Tracer + metrics + events for one experiment run."""
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
+        self.clock = clock
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(clock=clock)
+
+    # -- summaries ---------------------------------------------------
+
+    def cell_durations(self) -> dict[str, float]:
+        """Ledger-keyed elapsed seconds of every completed cell span."""
+        durations: dict[str, float] = {}
+        for span in self.tracer.spans:
+            if span.name == "cell" and span.end is not None:
+                key = str(span.attrs.get("key", span.span_id))
+                durations[key] = round(
+                    durations.get(key, 0.0) + span.duration, 9
+                )
+        return durations
+
+    def telemetry_summary(self) -> dict[str, Any]:
+        """The ``provenance["telemetry"]`` block of an experiment run.
+
+        The retry/quarantine/resume counters are incremented by the
+        resilient executor on the same events it ledgers, so they match
+        the run ledger record-for-record.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        wall = sum(
+            span.duration
+            for span in self.tracer.roots()
+            if span.end is not None
+        )
+        return {
+            "spans": len(self.tracer.spans),
+            "events": len(self.events),
+            "wall_seconds": round(wall, 9),
+            "cell_seconds": self.cell_durations(),
+            "cells_executed": int(counters.get("cells.ok", 0)),
+            "cells_resumed": int(counters.get("cells.resumed", 0)),
+            "retries": int(counters.get("cell.retries", 0)),
+            "quarantined": int(counters.get("cells.quarantined", 0)),
+            "metrics": snapshot,
+        }
+
+
+_current: ObsContext | None = None
+
+
+def current_obs() -> ObsContext | None:
+    """The context installed by the innermost :func:`activate_obs`."""
+    return _current
+
+
+def record_metric(kind: str, name: str, value: float = 1.0) -> None:
+    """Fire-and-forget metric update on the ambient registry.
+
+    ``kind`` is ``"counter"`` (inc by ``value``), ``"gauge"`` (set) or
+    ``"histogram"`` (observe).  A no-op when no context is installed,
+    so instrumentation sites need no guards of their own.
+    """
+    obs = _current
+    if obs is None:
+        return
+    if kind == "counter":
+        obs.metrics.counter(name).inc(value)
+    elif kind == "gauge":
+        obs.metrics.gauge(name).set(value)
+    else:
+        obs.metrics.histogram(name).observe(value)
+
+
+@contextmanager
+def activate_obs(context: ObsContext) -> Iterator[ObsContext]:
+    """Install ``context``'s collectors as the process ambients."""
+    global _current
+    previous = _current
+    previous_tracer = install_tracer(context.tracer)
+    previous_log = events_mod.install_log(context.events)
+    _current = context
+    try:
+        yield context
+    finally:
+        _current = previous
+        install_tracer(previous_tracer)
+        events_mod.install_log(previous_log)
+
+
+__all__ = [
+    "ObsContext",
+    "Span",
+    "activate_obs",
+    "current_obs",
+    "record_metric",
+]

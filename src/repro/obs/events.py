@@ -1,0 +1,123 @@
+"""The structured event log: what used to be bare stderr prints.
+
+Resilience milestones (a retry, a quarantine, a resumed cell) used to
+surface as opaque ``print(..., file=sys.stderr)`` calls scattered
+through the CLI.  They now funnel through one code path: a structured
+:class:`Event` is appended to the active :class:`EventLog` (exported
+with the span log, so artifacts answer "which cell retried, when"),
+and warning-level events are still mirrored to stderr so interactive
+runs look exactly as before.
+
+Like the tracer, the module-level helpers are safe no-ops when no log
+is installed — except :func:`warn`, whose stderr mirror always fires
+(a warning the user can't see is not a warning).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..clock import SYSTEM_CLOCK, Clock
+
+INFO = "info"
+WARNING = "warning"
+
+
+@dataclass
+class Event:
+    """One structured log entry."""
+
+    kind: str
+    message: str
+    time: float
+    level: str = INFO
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Flat JSON-able record (one span-log line)."""
+        return {
+            "type": "event",
+            "kind": self.kind,
+            "message": self.message,
+            "time": round(self.time, 9),
+            "level": self.level,
+            "fields": self.fields,
+        }
+
+
+class EventLog:
+    """Append-only in-memory event list with a stderr warning mirror.
+
+    ``mirror`` is resolved per call (``None`` means "``sys.stderr`` at
+    emit time"), so pytest's capture machinery sees mirrored warnings.
+    """
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK, mirror=None) -> None:
+        self.clock = clock
+        self.events: list[Event] = []
+        self._mirror = mirror
+
+    def emit(
+        self, kind: str, message: str, level: str = INFO, **fields: Any
+    ) -> Event:
+        event = Event(
+            kind=kind,
+            message=message,
+            time=self.clock.monotonic(),
+            level=level,
+            fields=fields,
+        )
+        self.events.append(event)
+        if level == WARNING:
+            stream = self._mirror if self._mirror is not None else sys.stderr
+            print(f"warning: {message}", file=stream)
+        return event
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: The installed log; ``None`` means events are dropped (warnings
+#: still reach stderr via :func:`warn`).
+_ACTIVE: EventLog | None = None
+
+
+def active_log() -> EventLog | None:
+    """The currently installed event log, if any."""
+    return _ACTIVE
+
+
+def install_log(log: EventLog | None) -> EventLog | None:
+    """Swap the ambient event log; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = log
+    return previous
+
+
+def emit(kind: str, message: str, level: str = INFO, **fields: Any) -> bool:
+    """Record an event on the ambient log; False when none installed."""
+    log = _ACTIVE
+    if log is None:
+        return False
+    log.emit(kind, message, level=level, **fields)
+    return True
+
+
+def warn(kind: str, message: str, **fields: Any) -> None:
+    """Warning-level event: recorded when a log is active, and always
+    mirrored to stderr (by the log itself, or directly here).
+
+    This is the single code path for every user-facing harness
+    warning; callers never print to stderr themselves.
+    """
+    log = _ACTIVE
+    if log is not None:
+        log.emit(kind, message, level=WARNING, **fields)
+    else:
+        print(f"warning: {message}", file=sys.stderr)

@@ -1,0 +1,317 @@
+"""Trace exporters: span JSONL, Chrome Trace Event JSON, text summary.
+
+Three views of the same span list:
+
+- **Span log (JSONL)** — one self-describing JSON object per span or
+  event, append-friendly, living alongside the resilience ledger so a
+  run directory carries both *what was computed* (ledger) and *where
+  the time went* (span log).
+- **Chrome Trace Event Format** — a ``trace.json`` loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; spans
+  become complete ("X") events on one timeline row per thread.
+- **Timing summary** — a plain-text tree aggregating spans by name at
+  each nesting level (count, total, mean), the ``gprof``-style view
+  for terminals and logs.
+
+``validate_chrome_trace`` is the schema check behind
+``python -m repro trace --validate`` (run in CI against the artifact
+the integration step produces).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from ..errors import ObservabilityError
+from .events import Event
+from .span import Span
+
+#: Bump when the span-log record layout changes incompatibly.
+SPAN_LOG_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Span log (JSONL)
+# ---------------------------------------------------------------------------
+
+def span_log_lines(
+    spans: Iterable[Span], events: Iterable[Event] = ()
+) -> list[str]:
+    """Serialized JSONL lines for a run's spans and events."""
+    lines = []
+    for span in spans:
+        record = span.to_jsonable()
+        record["schema_version"] = SPAN_LOG_SCHEMA_VERSION
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    for event in events:
+        record = event.to_jsonable()
+        record["schema_version"] = SPAN_LOG_SCHEMA_VERSION
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return lines
+
+
+def write_span_log(
+    path: str, spans: Iterable[Span], events: Iterable[Event] = ()
+) -> int:
+    """Append spans/events to a JSONL span log; returns lines written."""
+    lines = span_log_lines(spans, events)
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write span log {path!r}: {exc}"
+        ) from exc
+    return len(lines)
+
+
+def read_span_log(path: str) -> tuple[list[Span], list[Event]]:
+    """Rebuild spans and events from a JSONL span log."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read span log {path!r}: {exc}"
+        ) from exc
+    spans: list[Span] = []
+    events: list[Event] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{number}: corrupt span-log line: {exc}"
+            ) from exc
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(
+                Span(
+                    span_id=record["span_id"],
+                    parent_id=record.get("parent_id"),
+                    name=record["name"],
+                    start=record["start"],
+                    end=record.get("end"),
+                    status=record.get("status", "ok"),
+                    error=record.get("error"),
+                    thread=record.get("thread", 0),
+                    attrs=record.get("attrs", {}),
+                )
+            )
+        elif kind == "event":
+            events.append(
+                Event(
+                    kind=record["kind"],
+                    message=record["message"],
+                    time=record["time"],
+                    level=record.get("level", "info"),
+                    fields=record.get("fields", {}),
+                )
+            )
+        else:
+            raise ObservabilityError(
+                f"{path}:{number}: unknown span-log record type {kind!r}"
+            )
+    return spans, events
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event Format
+# ---------------------------------------------------------------------------
+
+#: Synthetic process id for the single-process harness.
+TRACE_PID = 1
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Spans as Chrome Trace Event dicts (complete "X" events).
+
+    Open spans (no ``end``) are skipped — they cannot be rendered as
+    complete events and only arise when exporting mid-run.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    threads: set[int] = set()
+    for span in spans:
+        if span.end is None:
+            continue
+        threads.add(span.thread)
+        args: dict[str, Any] = {
+            str(k): v for k, v in span.attrs.items()
+        }
+        if span.status != "ok":
+            args["status"] = span.status
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0].split(":", 1)[0],
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": TRACE_PID,
+                "tid": span.thread,
+                "args": args,
+            }
+        )
+    for tid in sorted(threads):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": "main" if tid == 0 else f"worker-{tid}"},
+            }
+        )
+    return events
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """The full ``trace.json`` payload (JSON-object flavour)."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> int:
+    """Write a Chrome Trace Event file; returns the event count."""
+    payload = chrome_trace(spans)
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=str)
+            handle.write("\n")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write chrome trace {path!r}: {exc}"
+        ) from exc
+    return len(payload["traceEvents"])
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema-check a Chrome Trace payload; returns problem strings.
+
+    An empty list means the payload is loadable by Perfetto /
+    ``about:tracing``: a JSON object with a ``traceEvents`` array whose
+    entries carry the required ``name``/``ph``/``ts``/``pid``/``tid``
+    keys, with ``dur`` present and non-negative on complete events.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object with 'traceEvents'"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing/empty 'name'")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: 'ts' must be a number")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key!r} must be an integer")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)):
+                problems.append(f"{where}: complete event missing 'dur'")
+            elif duration < 0:
+                problems.append(f"{where}: negative 'dur' {duration}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> list[str]:
+    """Load and schema-check a ``trace.json`` file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        return [f"cannot read {path!r}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path!r} is not valid JSON: {exc}"]
+    return validate_chrome_trace(payload)
+
+
+# ---------------------------------------------------------------------------
+# Plain-text timing summary
+# ---------------------------------------------------------------------------
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.1f}s"
+    if seconds >= 0.1:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def timing_summary(spans: list[Span], title: str = "span summary") -> str:
+    """Hierarchical text report aggregating sibling spans by name.
+
+    At each nesting level spans sharing a name collapse into one line
+    (count, total and mean duration, error count), so a thousand cell
+    spans read as one row rather than a thousand.
+    """
+    finished = [s for s in spans if s.end is not None]
+    by_parent: dict[int | None, list[Span]] = {}
+    for span in finished:
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    lines = [f"{title}: {len(finished)} span(s)"]
+
+    def emit_level(parent_ids: list[int | None], depth: int) -> None:
+        level: list[Span] = []
+        for parent in parent_ids:
+            level.extend(by_parent.get(parent, ()))
+        groups: dict[str, list[Span]] = {}
+        for span in level:
+            groups.setdefault(span.name, []).append(span)
+        for name, members in groups.items():
+            total = sum(s.duration for s in members)
+            errors = sum(1 for s in members if s.status != "ok")
+            mean = total / len(members)
+            suffix = f"  [{errors} error(s)]" if errors else ""
+            lines.append(
+                f"{'  ' * depth}{name:<{max(34 - 2 * depth, 8)}} "
+                f"x{len(members):<5} total {_format_seconds(total):>10}  "
+                f"mean {_format_seconds(mean):>10}{suffix}"
+            )
+            emit_level([s.span_id for s in members], depth + 1)
+
+    # Roots: spans whose parent is absent from this span set (covers
+    # logs exported from a subtree as well as true roots).
+    known = {s.span_id for s in finished}
+    root_parents = sorted(
+        {s.parent_id for s in finished if s.parent_id not in known},
+        key=lambda p: (p is not None, p),
+    )
+    emit_level(list(root_parents), 0)
+    return "\n".join(lines)

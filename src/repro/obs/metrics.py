@@ -1,0 +1,162 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Everything quantitative the harness wants to report — cell durations,
+retry and quarantine counts, cache/branch-simulation event rates —
+accumulates here.  Instruments are created on first use and memoised
+by name, so instrumentation sites never need set-up code:
+
+    registry.counter("cells.ok").inc()
+    registry.histogram("cell.seconds").observe(elapsed)
+
+The whole registry snapshots to one JSON-able dict (the ``--metrics-
+json`` artifact and the ``telemetry`` provenance block).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ObservabilityError
+
+#: Default histogram boundaries, tuned for durations in seconds: sub-
+#: millisecond cells through multi-minute encodes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+    300.0, 1800.0,
+)
+
+#: Boundaries for rate-like observations (miss rates, utilisations).
+RATE_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r}: negative increment {amount}"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-boundary histogram (cumulative-free, per-bucket counts).
+
+    ``buckets`` are ascending upper bounds with *less-or-equal*
+    semantics: an observation lands in the first bucket whose bound is
+    >= the value; anything above the last bound lands in the implicit
+    overflow bucket, so ``counts`` has ``len(buckets) + 1`` slots.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ObservabilityError(f"histogram {self.name!r}: no buckets")
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: buckets must be strictly "
+                f"ascending, got {self.buckets}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": round(self.total, 9),
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        elif tuple(instrument.buckets) != tuple(buckets):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with buckets "
+                f"{instrument.buckets}, requested {tuple(buckets)}"
+            )
+        return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able dict of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )

@@ -1,0 +1,293 @@
+"""Span-based tracing: hierarchical, monotonic-clock timed regions.
+
+A :class:`Span` is one timed region of work (a sweep cell, a retry
+attempt, a codec pipeline stage) with a name, parent link, attributes
+and an outcome.  The :class:`Tracer` owns the span list and the
+per-thread ancestry stack; :func:`trace_span` is the instrumentation
+entry point sprinkled through the hot paths.
+
+The disabled path is the design constraint: when no tracer is
+installed (the default — :func:`repro.obs.context.activate_obs`
+installs one for the duration of a ``run_experiment`` call),
+``trace_span`` costs one module-global read plus one shared no-op
+context manager, so library users and micro-benchmarks pay nothing
+for the instrumentation sites.
+
+Timing goes through :class:`repro.clock.Clock`, so tests
+drive span timing with ``FakeClock`` and never depend on wall time.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..clock import SYSTEM_CLOCK, Clock
+
+#: Span completion statuses.
+OK = "ok"
+ERROR = "error"
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    status: str = OK
+    error: str | None = None
+    thread: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Flat JSON-able record (one span-log line)."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "end": None if self.end is None else round(self.end, 9),
+            "duration": round(self.duration, 9),
+            "status": self.status,
+            "error": self.error,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one live span; exception-safe closure."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        span = self._span
+        if exc is not None:
+            span.status = ERROR
+            span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._close(span)
+        return False  # never swallow the exception
+
+
+class _AttachedParent:
+    """Context manager pushing a foreign parent onto this thread."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects spans with per-thread parent/child nesting."""
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._threads: dict[int, int] = {}
+
+    # -- internals ---------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_id(self) -> int:
+        """Dense 0-based id for the calling thread (0 = first seen)."""
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._threads.get(ident)
+            if tid is None:
+                tid = self._threads[ident] = len(self._threads)
+        return tid
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock.monotonic()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- public API --------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a child span of this thread's innermost open span."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            start=self.clock.monotonic(),
+            thread=self._thread_id(),
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(span)
+        stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def current(self) -> Span | None:
+        """This thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def attach(self, span: Span) -> _AttachedParent:
+        """Adopt ``span`` as this thread's ambient parent.
+
+        Used across thread hops (the resilience watchdog runs a cell
+        attempt on a worker thread) so spans opened on the worker still
+        nest under the attempt span opened on the dispatching thread.
+        """
+        return _AttachedParent(self, span)
+
+    def finished_spans(self) -> list[Span]:
+        """All closed spans, in start order."""
+        with self._lock:
+            return [s for s in self.spans if s.end is not None]
+
+    def roots(self) -> list[Span]:
+        """Spans with no parent, in start order."""
+        with self._lock:
+            return [s for s in self.spans if s.parent_id is None]
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+#: The installed tracer; ``None`` means every ``trace_span`` site is a
+#: no-op.  Installed/restored by :func:`repro.obs.context.activate_obs`.
+_ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The currently installed tracer, if any."""
+    return _ACTIVE
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Swap the ambient tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op when none installed).
+
+    This is the one function instrumentation sites call::
+
+        with trace_span("cell", key=cell_key):
+            ...
+
+    Disabled cost: one global read, one kwargs dict, one shared no-op
+    context manager — no allocation proportional to the attributes'
+    values and no clock read.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def capture_span() -> Span | None:
+    """The calling thread's innermost open span (for cross-thread
+    propagation); ``None`` when tracing is disabled or no span open."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.current()
+
+
+def attach_span(span: Span | None):
+    """Adopt a captured span as parent on this thread (no-op safe)."""
+    tracer = _ACTIVE
+    if tracer is None or span is None:
+        return _NOOP_SPAN
+    return tracer.attach(span)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`trace_span`.
+
+    ``@traced()`` uses the function's qualified name; keyword
+    attributes are attached to every span the wrapper opens.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _ACTIVE
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def walk(spans: list[Span]) -> Iterator[tuple[Span, int]]:
+    """Yield ``(span, depth)`` in depth-first start order."""
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def visit(parent: int | None, depth: int) -> Iterator[tuple[Span, int]]:
+        for span in children.get(parent, ()):
+            yield span, depth
+            yield from visit(span.span_id, depth + 1)
+
+    yield from visit(None, 0)

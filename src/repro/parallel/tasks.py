@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..obs.span import trace_span
 from ..resilience.faults import fault_point
 
 
@@ -123,6 +124,10 @@ class TaskGraph:
         """
         if workers < 1:
             raise SimulationError("need at least one worker")
+        with trace_span("schedule", workers=workers, tasks=len(self.tasks)):
+            return self._schedule(workers)
+
+    def _schedule(self, workers: int) -> ScheduleResult:
         fault_point(f"sim:schedule:{workers}:{len(self.tasks)}")
         indegree = {n: len(t.deps) for n, t in self.tasks.items()}
         dependants: dict[str, list[str]] = {n: [] for n in self.tasks}

@@ -1,63 +1,12 @@
 """Injectable time source for retry/backoff and deadlines.
 
-Everything in :mod:`repro.resilience` that reads the clock or sleeps
-does so through a :class:`Clock`, so the test suite can drive retry
-timing with :class:`FakeClock` and never block on a real
-:func:`time.sleep`.
+The implementation lives in :mod:`repro.clock` (it is shared with
+:mod:`repro.obs`, whose span timings use the same fake-able source);
+this module re-exports it under its historical name.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from ..clock import SYSTEM_CLOCK, Clock, FakeClock, SystemClock
 
-
-class Clock:
-    """Monotonic time plus sleep; subclass to fake either."""
-
-    def monotonic(self) -> float:
-        """Seconds from an arbitrary, monotonically increasing origin."""
-        raise NotImplementedError
-
-    def sleep(self, seconds: float) -> None:
-        """Block for ``seconds`` (no-op for non-positive values)."""
-        raise NotImplementedError
-
-
-class SystemClock(Clock):
-    """The real wall clock."""
-
-    def monotonic(self) -> float:
-        return time.monotonic()
-
-    def sleep(self, seconds: float) -> None:
-        if seconds > 0:
-            time.sleep(seconds)
-
-
-@dataclass
-class FakeClock(Clock):
-    """Deterministic clock: ``sleep`` advances time instantly.
-
-    ``sleeps`` records every requested delay, which is what the backoff
-    tests assert against.
-    """
-
-    now: float = 0.0
-    sleeps: list[float] = field(default_factory=list)
-
-    def monotonic(self) -> float:
-        return self.now
-
-    def sleep(self, seconds: float) -> None:
-        self.sleeps.append(seconds)
-        if seconds > 0:
-            self.now += seconds
-
-    def advance(self, seconds: float) -> None:
-        """Move time forward without recording a sleep."""
-        self.now += seconds
-
-
-#: Shared default instance; policies reference it unless overridden.
-SYSTEM_CLOCK = SystemClock()
+__all__ = ["SYSTEM_CLOCK", "Clock", "FakeClock", "SystemClock"]

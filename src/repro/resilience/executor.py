@@ -38,6 +38,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from ..errors import CellTimeoutError, QuarantinedCellError
+from ..obs import events as obs_events
+from ..obs.context import record_metric
+from ..obs.span import attach_span, capture_span, trace_span
 from .clock import SYSTEM_CLOCK, Clock
 from .faults import FaultPlan, active_plan
 from .ledger import OK, QUARANTINED, LedgerRecord, RunLedger
@@ -65,10 +68,14 @@ def call_with_deadline(
     if seconds <= 0:
         raise ValueError("cell timeout must be positive")
     box: dict[str, Any] = {}
+    # The attempt span was opened on this (dispatching) thread; adopt
+    # it on the worker so the cell's inner spans still nest under it.
+    parent_span = capture_span()
 
     def target() -> None:
         try:
-            box["value"] = fn()
+            with attach_span(parent_span):
+                box["value"] = fn()
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             box["error"] = exc
 
@@ -193,6 +200,10 @@ class ResilienceGuard:
             payload = self._resumable[key]
             value = deserialize(payload) if deserialize else payload
             self._record(CellOutcome(key=key, status=RESUMED, attempts=0))
+            record_metric("counter", "cells.resumed")
+            obs_events.emit(
+                "cell.resumed", f"cell {key} replayed from ledger", cell=key
+            )
             return value
 
         policy = self.policy
@@ -202,17 +213,27 @@ class ResilienceGuard:
         attempt = 0
         while True:
             try:
-                if plan is not None:
-                    plan.check(key, sleep=clock.sleep)
-                value = call_with_deadline(
-                    compute, policy.cell_timeout, key=key
-                )
+                with trace_span("attempt", cell=key, attempt=attempt + 1):
+                    if plan is not None:
+                        plan.check(key, sleep=clock.sleep)
+                    value = call_with_deadline(
+                        compute, policy.cell_timeout, key=key
+                    )
             except (KeyboardInterrupt, SystemExit):
                 # Killing the run must kill the run — the ledger keeps
                 # what finished; quarantine is only for cell failures.
                 raise
             except BaseException as exc:  # noqa: BLE001 - classified below
                 if policy.retry.should_retry(exc, attempt):
+                    record_metric("counter", "cell.retries")
+                    obs_events.emit(
+                        "cell.retry",
+                        f"cell {key} attempt {attempt + 1} failed "
+                        f"({type(exc).__name__}: {exc}); retrying",
+                        cell=key,
+                        attempt=attempt + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     clock.sleep(policy.retry.delay(attempt, key))
                     attempt += 1
                     continue
@@ -226,6 +247,15 @@ class ResilienceGuard:
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 )
+                record_metric("counter", "cells.quarantined")
+                obs_events.emit(
+                    "cell.quarantine",
+                    f"cell {key} quarantined after {attempt + 1} "
+                    f"attempt(s): {type(exc).__name__}: {exc}",
+                    cell=key,
+                    attempts=attempt + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 raise QuarantinedCellError(key, exc) from exc
             elapsed = clock.monotonic() - started
             payload = serialize(value) if serialize else value
@@ -238,6 +268,8 @@ class ResilienceGuard:
                 ),
                 payload=payload,
             )
+            record_metric("counter", "cells.ok")
+            record_metric("histogram", "cell.seconds", elapsed)
             return value
 
 

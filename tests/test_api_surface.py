@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.parallel",
     "repro.profiling",
     "repro.resilience",
+    "repro.obs",
     "repro.core",
     "repro.experiments",
 ]

@@ -12,6 +12,10 @@ import pytest
 
 os.environ.setdefault("REPRO_FAST", "1")
 
+# Full-grid artifact regeneration takes tens of minutes even in fast
+# mode; CI's fast path deselects it with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 from repro.core.session import Session  # noqa: E402
 from repro.experiments import common, experiment_ids, run_experiment  # noqa: E402
 from repro.experiments import (  # noqa: E402

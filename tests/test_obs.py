@@ -1,0 +1,445 @@
+"""Tests for the observability stack: tracer, metrics, exporters, CLI.
+
+Tracer/metrics/export tests drive the collectors directly with a
+``FakeClock``; the CLI tests run a real (stubbed-characterize, tiny
+grid) ``fig04`` through ``python -m repro``'s entry point and check
+the artifacts it leaves behind.
+"""
+
+import json
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_FAST", "1")
+
+import repro.core.session as session_mod  # noqa: E402
+from repro.cli import main  # noqa: E402
+from repro.clock import FakeClock  # noqa: E402
+from repro.errors import ObservabilityError  # noqa: E402
+from repro.experiments import common, fig04_crf_sweep  # noqa: E402
+from repro.obs import (  # noqa: E402
+    ObsContext,
+    Tracer,
+    activate_obs,
+    current_obs,
+    trace_span,
+    walk,
+)
+from repro.obs import events as events_mod  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    chrome_trace,
+    read_span_log,
+    timing_summary,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.obs.metrics import (  # noqa: E402
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import active_tracer, capture_span, traced  # noqa: E402
+from repro.uarch.perfcounters import BranchReport, PerfReport  # noqa: E402
+from repro.uarch.pipeline import CoreModelResult, ResourceStalls  # noqa: E402
+from repro.uarch.topdown import TopDown  # noqa: E402
+
+
+def synthetic_report(codec, video, crf=0.0, preset=0):
+    """A fully populated PerfReport without running an encode."""
+    topdown = TopDown(retiring=0.5, bad_speculation=0.1, frontend=0.15,
+                      backend=0.25)
+    core = CoreModelResult(
+        cycles=1e9, ipc=2.0, topdown=topdown,
+        stalls=ResourceStalls(reservation_station=6.0, reorder_buffer=2.0,
+                              load_buffer=1.0, store_buffer=0.5),
+        cpi_base=0.25, cpi_backend_memory=0.1, cpi_backend_core=0.05,
+        cpi_bad_speculation=0.05, cpi_frontend=0.05,
+    )
+    branch = BranchReport(
+        total_branches=1e8, decision_branches=1e7, loop_branches=5e7,
+        decision_miss_rate=0.05, miss_rate=0.02, mpki=3.0, taken_rate=0.6,
+    )
+    return PerfReport(
+        video=video, codec=codec, crf=crf, preset=preset,
+        proxy_instructions=1e9, instructions=2e9 - crf * 1e6, cycles=1e9,
+        time_seconds=1.0 - crf * 0.001, ipc=2.0,
+        mix_percent={"branch": 5.0, "load": 25.0},
+        branch=branch, cache_mpki={"l1d": 20.0, "l2": 5.0, "llc": 1.0},
+        topdown=topdown, core=core,
+        bits=1e6, bitrate_kbps=1000.0, psnr_db=40.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_nesting_parent_child(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_durations_from_fake_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work") as span:
+            clock.advance(2.5)
+        assert span.duration == 2.5
+        assert span.status == "ok"
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("work") as span:
+                raise ValueError("boom")
+        assert span.end is not None
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        # The stack unwound: a new span is a root, not a child.
+        with tracer.span("next") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_walk_depth_first(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child2"):
+                pass
+        order = [(s.name, d) for s, d in walk(tracer.spans)]
+        assert order == [
+            ("root", 0), ("child", 1), ("grandchild", 2), ("child2", 1),
+        ]
+
+    def test_attach_adopts_foreign_parent(self):
+        # The cross-thread pattern: capture on the dispatching thread,
+        # attach on the worker.
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("attempt") as attempt:
+            pass
+        with tracer.attach(attempt):
+            with tracer.span("stage") as stage:
+                pass
+        assert stage.parent_id == attempt.span_id
+
+
+class TestAmbientTracer:
+    def test_disabled_trace_span_is_shared_noop(self):
+        assert active_tracer() is None
+        cm1 = trace_span("anything", key=1)
+        cm2 = trace_span("other")
+        assert cm1 is cm2  # one shared singleton, no allocation
+        with cm1 as span:
+            assert span is None
+
+    def test_disabled_capture_is_none(self):
+        assert capture_span() is None
+
+    def test_activate_obs_installs_and_restores(self):
+        obs = ObsContext(clock=FakeClock())
+        assert current_obs() is None
+        with activate_obs(obs):
+            assert current_obs() is obs
+            assert active_tracer() is obs.tracer
+            with trace_span("cell", key="k"):
+                pass
+        assert current_obs() is None
+        assert active_tracer() is None
+        assert [s.name for s in obs.tracer.spans] == ["cell"]
+
+    def test_traced_decorator(self):
+        obs = ObsContext(clock=FakeClock())
+
+        @traced("compute", kind="demo")
+        def compute(x):
+            return x * 2
+
+        assert compute(2) == 4  # disabled: plain call, no span
+        with activate_obs(obs):
+            assert compute(3) == 6
+        [span] = obs.tracer.spans
+        assert span.name == "compute"
+        assert span.attrs == {"kind": "demo"}
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(7)
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["gauges"]["depth"] == 7
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="negative"):
+            registry.counter("hits").inc(-1)
+
+    def test_histogram_bucketing_le_semantics(self):
+        hist = Histogram("t", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 1000.0):
+            hist.observe(value)
+        # <=1: {0.5, 1.0}; <=10: {5, 10}; <=100: {99, 100}; over: {1000}
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.count == 7
+        assert hist.total == pytest.approx(1215.5)
+
+    def test_histogram_boundary_lands_in_bucket(self):
+        hist = Histogram("t", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ObservabilityError, match="ascending"):
+            Histogram("t", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError, match="ascending"):
+            Histogram("t", buckets=(1.0, 1.0))
+
+    def test_histogram_bucket_mismatch_on_reuse(self):
+        registry = MetricsRegistry()
+        registry.histogram("d")  # DEFAULT_BUCKETS
+        registry.histogram("d", buckets=DEFAULT_BUCKETS)  # same: fine
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.histogram("d", buckets=(1.0, 2.0))
+
+    def test_snapshot_round_trips_as_json(self):
+        registry = MetricsRegistry()
+        registry.histogram("seconds").observe(0.25)
+        rebuilt = json.loads(registry.to_json())
+        assert rebuilt["histograms"]["seconds"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+class TestEvents:
+    def test_warn_mirrors_to_stderr_without_log(self, capsys):
+        events_mod.warn("demo", "something happened")
+        assert "warning: something happened" in capsys.readouterr().err
+
+    def test_warn_recorded_and_mirrored_with_log(self, capsys):
+        obs = ObsContext(clock=FakeClock())
+        with activate_obs(obs):
+            events_mod.warn("demo", "recorded too", cell="c1")
+        assert "warning: recorded too" in capsys.readouterr().err
+        [event] = obs.events.events
+        assert event.level == "warning"
+        assert event.fields == {"cell": "c1"}
+
+    def test_info_emit_dropped_without_log(self, capsys):
+        assert events_mod.emit("demo", "quiet") is False
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+def _sample_tracer():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("session", experiment="figX"):
+        clock.advance(0.1)
+        with tracer.span("cell", key="c1"):
+            clock.advance(0.5)
+        try:
+            with tracer.span("cell", key="c2"):
+                clock.advance(0.2)
+                raise RuntimeError("fault")
+        except RuntimeError:
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_payload_is_valid(self):
+        payload = chrome_trace(_sample_tracer().spans)
+        assert validate_chrome_trace(payload) == []
+
+    def test_events_carry_timing_in_microseconds(self):
+        payload = chrome_trace(_sample_tracer().spans)
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        cell1 = next(
+            e for e in complete if e["args"].get("key") == "c1"
+        )
+        assert cell1["ts"] == pytest.approx(0.1 * 1e6)
+        assert cell1["dur"] == pytest.approx(0.5 * 1e6)
+
+    def test_error_status_surfaces_in_args(self):
+        payload = chrome_trace(_sample_tracer().spans)
+        failed = next(
+            e for e in payload["traceEvents"]
+            if e.get("args", {}).get("key") == "c2"
+        )
+        assert failed["args"]["status"] == "error"
+        assert "RuntimeError" in failed["args"]["error"]
+
+    def test_written_file_validates(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, _sample_tracer().spans)
+        assert count > 0
+        assert validate_chrome_trace_file(path) == []
+
+    def test_validator_flags_broken_events(self):
+        assert validate_chrome_trace([]) != []  # not an object
+        assert validate_chrome_trace({}) != []  # no traceEvents
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                              "pid": 1, "tid": 0}]}
+        )
+        assert any("dur" in p for p in problems)
+
+    def test_validator_accepts_missing_file_gracefully(self, tmp_path):
+        problems = validate_chrome_trace_file(str(tmp_path / "nope.json"))
+        assert problems and "cannot read" in problems[0]
+
+
+class TestSpanLog:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        log = events_mod.EventLog(clock=FakeClock())
+        log.emit("cell.retry", "retrying c2", cell="c2")
+        path = str(tmp_path / "run.spans.jsonl")
+        lines = write_span_log(path, tracer.spans, log.events)
+        assert lines == 3 + 1
+        spans, events = read_span_log(path)
+        assert [s.name for s in spans] == ["session", "cell", "cell"]
+        assert spans[2].status == "error"
+        assert [e.kind for e in events] == ["cell.retry"]
+
+    def test_append_only(self, tmp_path):
+        tracer = _sample_tracer()
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, tracer.spans)
+        write_span_log(path, tracer.spans)
+        spans, _ = read_span_log(path)
+        assert len(spans) == 6
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"\n')
+        with pytest.raises(ObservabilityError, match="corrupt"):
+            read_span_log(str(path))
+
+
+class TestTimingSummary:
+    def test_aggregates_by_name_per_level(self):
+        text = timing_summary(_sample_tracer().spans, title="demo")
+        assert "demo: 3 span(s)" in text
+        assert "session" in text
+        # Two sibling cells collapse into one aggregated line.
+        assert "cell" in text
+        assert "x2" in text
+        assert "[1 error(s)]" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI: --trace-out / --metrics-json / repro trace
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def stub_characterize(monkeypatch):
+    def fake(codec, video, machine=None, crf=None, preset=None,
+             num_frames=None):
+        return synthetic_report(codec, video, crf=crf, preset=preset)
+
+    monkeypatch.setattr(session_mod, "characterize", fake)
+
+
+@pytest.fixture(autouse=True)
+def tiny_grids(monkeypatch):
+    for module in (common, fig04_crf_sweep):
+        monkeypatch.setattr(module, "sweep_videos", lambda: ("desktop",))
+        monkeypatch.setattr(module, "sweep_crfs", lambda: (10, 35))
+
+
+class TestCliTelemetry:
+    def test_trace_out_and_metrics_json(
+        self, stub_characterize, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        code = main([
+            "experiment", "fig04", "--max-retries", "1",
+            "--ledger", str(tmp_path / "fig04.jsonl"),
+            "--trace-out", trace, "--metrics-json", metrics,
+        ])
+        assert code == 0
+        assert validate_chrome_trace_file(trace) == []
+        snapshot = json.loads(open(metrics).read())
+        assert snapshot["counters"]["cells.ok"] == 2
+        assert snapshot["histograms"]["cell.seconds"]["count"] == 2
+        # The span log rides alongside the ledger by default.
+        spans, _ = read_span_log(str(tmp_path / "fig04.spans.jsonl"))
+        names = {s.name for s in spans}
+        assert {"session", "sweep.cell", "cell", "attempt"} <= names
+
+    def test_telemetry_in_provenance(
+        self, stub_characterize, tmp_path, capsys
+    ):
+        code = main([
+            "experiment", "fig04", "--json",
+            "--ledger", str(tmp_path / "fig04.jsonl"),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        telemetry = payload["provenance"]["telemetry"]
+        assert telemetry["cells_executed"] == 2
+        assert telemetry["retries"] == payload["provenance"]["retries"]
+        assert len(telemetry["cell_seconds"]) == 2
+
+    def test_trace_validate_ok(self, stub_characterize, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        main(["experiment", "fig04", "--trace-out", trace])
+        capsys.readouterr()
+        assert main(["trace", "--validate", trace]) == 0
+        assert "valid Chrome Trace Event file" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}')
+        assert main(["trace", "--validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_summary(self, stub_characterize, tmp_path, capsys):
+        span_log = str(tmp_path / "run.spans.jsonl")
+        main([
+            "experiment", "fig04", "--span-log", span_log,
+            "--max-retries", "1",
+        ])
+        capsys.readouterr()
+        assert main(["trace", "--summary", span_log]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out
+        assert "cell" in out
+
+    def test_trace_requires_a_mode(self, capsys):
+        assert main(["trace"]) == 2
+        assert "requires" in capsys.readouterr().err
