@@ -1,0 +1,88 @@
+"""Benchmark: the parallel sweep engine and the result cache.
+
+Times three fig04 CRF-sweep regenerations end-to-end:
+
+- **cold** — serial, empty cache (the pre-PR baseline, plus the cost
+  of publishing every cell to the cache);
+- **warm** — serial re-run against the populated cache (every cell a
+  hit; must be ≥5× faster than cold);
+- **parallel** — pooled, no cache (must be ≥2× faster than cold on a
+  ≥4-core runner; skipped on smaller machines where a process pool
+  cannot beat the serial loop).
+
+The measured timings are written to ``BENCH_sweep.json`` at the repo
+root so future PRs have a perf baseline to compare against.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import run_experiment
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_sweep.json")
+
+POOL_WORKERS = 4
+WARM_SPEEDUP_FLOOR = 5.0
+POOL_SPEEDUP_FLOOR = 2.0
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    result = run_experiment("fig04", **kwargs)
+    return time.perf_counter() - start, result
+
+
+def test_sweep_speedups(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    cold_seconds, cold = _timed(cache_dir=cache_dir)
+    warm_seconds, warm = _timed(cache_dir=cache_dir)
+    assert warm.tables == cold.tables
+    assert warm.series == cold.series
+
+    cells = len(cold.tables[0].rows)
+    parallel_seconds = None
+    cores = os.cpu_count() or 1
+    if cores >= POOL_WORKERS:
+        parallel_seconds, pooled = _timed(workers=POOL_WORKERS)
+        assert pooled.tables == cold.tables
+        assert pooled.series == cold.series
+
+    payload = {
+        "experiment": "fig04",
+        "cells": cells,
+        "cores": cores,
+        "workers": POOL_WORKERS,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "parallel_seconds": (
+            None if parallel_seconds is None else round(parallel_seconds, 3)
+        ),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "parallel_speedup": (
+            None
+            if parallel_seconds is None
+            else round(cold_seconds / parallel_seconds, 2)
+        ),
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    assert cold_seconds >= warm_seconds * WARM_SPEEDUP_FLOOR, (
+        f"warm cache run only {cold_seconds / warm_seconds:.1f}x faster "
+        f"({warm_seconds:.2f}s vs {cold_seconds:.2f}s cold)"
+    )
+    if parallel_seconds is None:
+        pytest.skip(
+            f"pooled >= {POOL_SPEEDUP_FLOOR}x assertion needs "
+            f">= {POOL_WORKERS} cores (have {cores}); timings written"
+        )
+    assert cold_seconds >= parallel_seconds * POOL_SPEEDUP_FLOOR, (
+        f"pooled run only {cold_seconds / parallel_seconds:.1f}x faster "
+        f"({parallel_seconds:.2f}s vs {cold_seconds:.2f}s serial)"
+    )

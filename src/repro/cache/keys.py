@@ -1,0 +1,77 @@
+"""Content-addressed cache keys for characterization cells.
+
+A cell's key is the SHA-256 of a canonical JSON document naming
+*everything its result depends on*:
+
+- the codec configuration (encoder name, CRF, preset);
+- the video identity (clip name plus the proxy frame count, since a
+  shortened proxy produces different counters);
+- the machine model (every field of the
+  :class:`~repro.uarch.machine.MachineConfig`, so changing a latency or
+  a cache geometry changes the key);
+- a version salt combining the cache's own schema version with the
+  serialized-result schema versions, so a code change that alters what
+  a cell produces invalidates every old entry at once.
+
+Two processes (or two runs, or two machines sharing a filesystem) that
+would compute the same result therefore hash to the same key — which is
+what lets the parallel sweep pool share one on-disk cache without any
+coordination beyond atomic file replacement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from ..core.report import RESULT_SCHEMA_VERSION
+from ..uarch.machine import MachineConfig
+
+#: Bump when the cache entry layout (or the meaning of a key) changes
+#: incompatibly; every existing entry then reads as stale.
+CACHE_SCHEMA_VERSION = 1
+
+#: The code/schema portion of every key.  RESULT_SCHEMA_VERSION rides
+#: along because cached payloads flow through the same serializer as
+#: checkpointed results.
+CODE_SALT = f"cell-cache:v{CACHE_SCHEMA_VERSION}:result:v{RESULT_SCHEMA_VERSION}"
+
+
+def _canonical(document: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    """Stable digest of every field of a machine description."""
+    document = dataclasses.asdict(machine)
+    return hashlib.sha256(_canonical(document).encode()).hexdigest()
+
+
+def cell_cache_key(
+    codec: str,
+    video: str,
+    crf: float,
+    preset: int,
+    num_frames: int | None,
+    machine: MachineConfig,
+    salt: str = "",
+) -> str:
+    """Content address of one characterization cell's result.
+
+    ``salt`` is the user-facing invalidation knob (a config hash, an
+    experiment-campaign id); the code/schema salt is always mixed in.
+    """
+    document = {
+        "codec": codec,
+        "video": video,
+        "crf": float(crf),
+        "preset": int(preset),
+        "num_frames": num_frames,
+        "machine": machine_fingerprint(machine),
+        "code_salt": CODE_SALT,
+        "salt": salt,
+    }
+    return hashlib.sha256(_canonical(document).encode()).hexdigest()

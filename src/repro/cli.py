@@ -9,7 +9,10 @@ Four commands cover the library's workflows:
 ``experiment``
     Regenerate a paper table/figure and print its rows/series;
     ``--trace-out``/``--metrics-json``/``--span-log`` capture the
-    run's telemetry artifacts.
+    run's telemetry artifacts, ``--workers`` fans sweep cells over a
+    process pool and ``--cache-dir`` memoises them on disk.
+``cache``
+    Inspect (``--stats``) or empty (``--clear``) a result cache.
 ``trace``
     Validate a captured Chrome trace or summarise a span log.
 """
@@ -20,6 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from .cache import ResultCache, default_cache_dir
 from .codecs import encoder_names
 from .core import characterize, format_result
 from .errors import ObservabilityError, ReproError
@@ -106,6 +110,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the raw span/event JSONL log (default: alongside "
              "the run ledger when one is in use)",
     )
+    experiment.add_argument(
+        "--workers", type=_nonnegative_int, default=None, metavar="N",
+        help="run sweep cells over a pool of N worker processes "
+             "(0 = one per core; default: REPRO_WORKERS, else serial)",
+    )
+    experiment.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="memoise cell results in a content-addressed cache at "
+             "PATH (default: REPRO_CACHE_DIR, else disabled)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a result cache"
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache root (default: REPRO_CACHE_DIR, else .repro/cache)",
+    )
+    cache.add_argument(
+        "--stats", action="store_true",
+        help="print entry count and on-disk size",
+    )
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached entry",
+    )
 
     trace = sub.add_parser(
         "trace", help="validate or summarise captured run telemetry"
@@ -119,6 +149,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a hierarchical timing summary of a span log",
     )
     return parser
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    """``repro cache``: result-cache administration."""
+    if not args.stats and not args.clear:
+        print("error: cache requires --stats and/or --clear",
+              file=sys.stderr)
+        return 2
+    root = args.cache_dir or default_cache_dir()
+    cache = ResultCache(root)
+    try:
+        if args.clear:
+            removed = cache.clear()
+            print(f"{root}: removed {removed} entr"
+                  f"{'y' if removed == 1 else 'ies'}")
+        if args.stats:
+            stats = cache.stats()
+            print(f"{root}: {stats['entries']} entr"
+                  f"{'y' if stats['entries'] == 1 else 'ies'}, "
+                  f"{stats['bytes']} bytes")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:
@@ -178,6 +232,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 trace_out=args.trace_out,
                 metrics_json=args.metrics_json,
                 span_log=args.span_log,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -193,6 +249,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cells=[q["cell"] for q in quarantined],
             )
         return 0
+
+    if args.command == "cache":
+        return _run_cache_command(args)
 
     if args.command == "trace":
         return _run_trace_command(args)

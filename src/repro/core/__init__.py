@@ -10,7 +10,7 @@ from .report import (
     format_table,
 )
 from .serialize import from_jsonable, register, to_jsonable
-from .session import RunKey, Session, default_session
+from .session import CellSpec, RunKey, Session, default_session
 from .sweeps import (
     DEFAULT_CRFS,
     DEFAULT_PRESETS,
@@ -21,6 +21,7 @@ from .sweeps import (
     preset_sweep,
     scale_crf,
     sweep_cells,
+    sweep_specs,
     thread_study,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "DEFAULT_CRFS",
     "DEFAULT_PRESETS",
     "RESULT_SCHEMA_VERSION",
+    "CellSpec",
     "ExperimentResult",
     "RunKey",
     "Series",
@@ -47,6 +49,7 @@ __all__ = [
     "register",
     "scale_crf",
     "sweep_cells",
+    "sweep_specs",
     "thread_study",
     "to_jsonable",
     "workload_scales",

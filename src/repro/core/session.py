@@ -10,8 +10,10 @@ wide default session lets independent benchmark files share work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from ..codecs.base import EncodeResult
+from ..errors import QuarantinedCellError
 from ..obs.context import current_obs
 from ..obs.metrics import RATE_BUCKETS
 from ..obs.span import trace_span
@@ -20,6 +22,9 @@ from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport
 from .characterize import characterize, encode_workload
 from .serialize import from_jsonable, to_jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import ResultCache
 
 
 def _record_report_metrics(report: PerfReport) -> None:
@@ -57,6 +62,33 @@ class RunKey:
     num_frames: int | None = None
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid point: the four coordinates of a characterization.
+
+    The currency of batch execution — :meth:`Session.prefetch` and
+    :func:`repro.parallel.pool.execute_cells` take iterables of these
+    (plain ``(codec, video, crf, preset)`` tuples are accepted and
+    normalised).  Unlike :class:`RunKey` it carries no frame count;
+    the executing session supplies its own.
+    """
+
+    codec: str
+    video: str
+    crf: float
+    preset: int
+
+    @classmethod
+    def of(cls, item: "CellSpec | tuple") -> "CellSpec":
+        """Normalise a ``(codec, video, crf, preset)`` tuple."""
+        if isinstance(item, cls):
+            return item
+        return cls(*item)
+
+    def __str__(self) -> str:
+        return f"{self.codec}:{self.video}:{self.crf:g}:{self.preset}"
+
+
 @dataclass
 class Session:
     """Memoising front-end over :func:`characterize`.
@@ -72,14 +104,49 @@ class Session:
     machine: MachineConfig = XEON_E5_2650_V4
     num_frames: int | None = None
     guard: ResilienceGuard | None = None
+    cache: "ResultCache | None" = None
     _reports: dict[RunKey, PerfReport] = field(default_factory=dict)
     _encodes: dict[RunKey, EncodeResult] = field(default_factory=dict)
+    _quarantined: dict[RunKey, QuarantinedCellError] = field(
+        default_factory=dict
+    )
 
     def cell_key(self, key: RunKey) -> str:
         """Stable ledger/fault-site key for one characterization cell."""
         frames = "all" if key.num_frames is None else key.num_frames
         return (
             f"cell:{key.codec}:{key.video}:{key.crf:g}:{key.preset}:{frames}"
+        )
+
+    def _compute(
+        self, codec: str, video: str, crf: float, preset: int
+    ) -> PerfReport:
+        """One cell's work, consulting the result cache when attached.
+
+        The cache lookup lives *inside* the guarded compute, so a hit
+        is still ledgered as a normally completed cell (and still
+        passes the fault-injection checkpoint) — memoisation changes
+        how fast a cell finishes, never whether it ran.
+        """
+        if self.cache is not None:
+            from ..cache import cell_cache_key
+
+            cache_key = cell_cache_key(
+                codec, video, crf, preset, self.num_frames, self.machine,
+                salt=self.cache.salt,
+            )
+            payload = self.cache.get(cache_key)
+            if payload is not None:
+                return from_jsonable(payload)
+            report = characterize(
+                codec, video, machine=self.machine, crf=crf, preset=preset,
+                num_frames=self.num_frames,
+            )
+            self.cache.put(cache_key, to_jsonable(report))
+            return report
+        return characterize(
+            codec, video, machine=self.machine, crf=crf, preset=preset,
+            num_frames=self.num_frames,
         )
 
     def report(
@@ -93,31 +160,73 @@ class Session:
 
         Raises :class:`~repro.errors.QuarantinedCellError` when a
         guarded cell fails permanently; sweep loops catch it and keep
-        the rest of the grid.
+        the rest of the grid.  The quarantine is sticky: asking again
+        re-raises the stored error instead of re-running the cell, so
+        a prefetched grid and a lazy loop observe the same failures.
         """
         key = RunKey(codec, video, crf, preset, self.num_frames)
+        quarantined = self._quarantined.get(key)
+        if quarantined is not None:
+            raise quarantined
         cached = self._reports.get(key)
         if cached is None:
-            compute = lambda: characterize(  # noqa: E731
-                codec, video, machine=self.machine, crf=crf, preset=preset,
-                num_frames=self.num_frames,
+            compute = lambda: self._compute(  # noqa: E731
+                codec, video, crf, preset
             )
             with trace_span(
                 "cell", key=self.cell_key(key), codec=codec, video=video,
                 crf=crf, preset=preset,
             ):
                 if self.guard is not None:
-                    cached = self.guard.run_cell(
-                        self.cell_key(key),
-                        compute,
-                        serialize=to_jsonable,
-                        deserialize=from_jsonable,
-                    )
+                    try:
+                        cached = self.guard.run_cell(
+                            self.cell_key(key),
+                            compute,
+                            serialize=to_jsonable,
+                            deserialize=from_jsonable,
+                        )
+                    except QuarantinedCellError as exc:
+                        self._quarantined[key] = exc
+                        raise
                 else:
                     cached = compute()
             _record_report_metrics(cached)
             self._reports[key] = cached
         return cached
+
+    def prefetch(
+        self,
+        specs: Iterable[tuple],
+        workers: int | None = None,
+    ) -> int:
+        """Compute a batch of ``(codec, video, crf, preset)`` cells.
+
+        With an effective worker count above one (explicit argument,
+        ambient :class:`~repro.parallel.pool.ParallelConfig`, or
+        ``REPRO_WORKERS``), the grid fans out over a process pool and
+        later :meth:`report` calls hit this session's in-memory cache;
+        quarantine failures are absorbed here and re-raised by the
+        corresponding :meth:`report` call, exactly where the serial
+        loop would have seen them.  At one worker this is a no-op —
+        the lazy serial loops are already the optimal schedule — so
+        serial runs stay bit-for-bit identical to pre-parallel runs.
+
+        Returns the number of cells dispatched to the pool.
+        """
+        from ..parallel.pool import execute_cells, resolve_workers
+
+        if resolve_workers(workers) <= 1:
+            return 0
+        wanted = []
+        for spec in specs:
+            codec, video, crf, preset = spec
+            key = RunKey(codec, video, crf, preset, self.num_frames)
+            if key in self._reports or key in self._quarantined:
+                continue
+            wanted.append(spec)
+        if wanted:
+            execute_cells(self, wanted, workers)
+        return len(wanted)
 
     def encode(
         self,
@@ -137,9 +246,10 @@ class Session:
         return cached
 
     def clear(self) -> None:
-        """Drop all cached runs."""
+        """Drop all cached runs (and remembered quarantines)."""
         self._reports.clear()
         self._encodes.clear()
+        self._quarantined.clear()
 
     def __len__(self) -> int:
         return len(self._reports) + len(self._encodes)

@@ -16,7 +16,7 @@ from ..obs.span import trace_span
 from ..parallel.scaling import ScalingCurve, thread_scaling, topdown_with_threads
 from ..uarch.perfcounters import PerfReport
 from ..uarch.topdown import TopDown
-from .session import Session, default_session
+from .session import CellSpec, Session, default_session
 
 #: The paper's CRF sweep grid (§4.2: "vary CRF from 10 to 60").
 DEFAULT_CRFS: tuple[int, ...] = (10, 20, 30, 40, 50, 60)
@@ -52,6 +52,39 @@ def sweep_cells(
         kept_points.append(point)
         kept_results.append(result)
     return kept_points, kept_results
+
+
+def sweep_specs(
+    codecs: str | Iterable[str],
+    videos: str | Iterable[str],
+    crfs: float | Iterable[float],
+    presets: int | Iterable[int],
+) -> list[CellSpec]:
+    """Cross-product grid of cell specs, in nested-loop order.
+
+    Scalars are accepted for any axis, so the common one-codec
+    one-preset sweeps read naturally::
+
+        session.prefetch(sweep_specs("svt-av1", videos, crfs, 4))
+
+    The order (codec, then video, then CRF, then preset) matches the
+    experiments' own loop nesting, which keeps serial execution order
+    — and therefore ledger order — identical whether a grid is walked
+    lazily or prefetched.
+    """
+
+    def axis(value) -> tuple:
+        if isinstance(value, (str, int, float)):
+            return (value,)
+        return tuple(value)
+
+    return [
+        CellSpec(codec, video, crf, preset)
+        for codec in axis(codecs)
+        for video in axis(videos)
+        for crf in axis(crfs)
+        for preset in axis(presets)
+    ]
 
 
 def scale_crf(codec: str, crf: float, reference_range: int = 63) -> float:
@@ -96,6 +129,9 @@ def crf_sweep(
     report's ``crf`` field identifies its grid point.
     """
     session = session or default_session()
+    session.prefetch(
+        CellSpec(codec, video, scale_crf(codec, crf), preset) for crf in crfs
+    )
     _, reports = sweep_cells(
         crfs,
         lambda crf: session.report(codec, video, scale_crf(codec, crf), preset),
@@ -116,6 +152,9 @@ def preset_sweep(
     report's ``preset`` field identifies its grid point.
     """
     session = session or default_session()
+    session.prefetch(
+        CellSpec(codec, video, crf, preset) for preset in presets
+    )
     _, reports = sweep_cells(
         presets,
         lambda preset: session.report(codec, video, crf, preset),
@@ -136,6 +175,13 @@ def codec_comparison(
     report's ``codec`` field identifies its encoder.
     """
     session = session or default_session()
+    session.prefetch(
+        CellSpec(
+            codec, video, scale_crf(codec, crf),
+            comparable_preset(codec, av1_preset),
+        )
+        for codec in codecs
+    )
     _, reports = sweep_cells(
         codecs,
         lambda codec: session.report(

@@ -81,6 +81,17 @@ class QuarantinedCellError(ReproError):
         self.cause = cause
 
 
+class CacheError(ReproError):
+    """The result cache could not be administered.
+
+    Raised only by cache *administration* (clearing or summarising a
+    cache directory that cannot be read or written).  Cache *lookups*
+    never raise: a missing, corrupt or stale entry is a miss, because a
+    memoisation layer that can fail an experiment is worse than no
+    memoisation at all.
+    """
+
+
 class ObservabilityError(ReproError):
     """A telemetry artifact could not be produced or understood.
 

@@ -23,6 +23,11 @@ def run(session: Session | None = None, video: str = "game1") -> ExperimentResul
     """Measure time-vs-CRF curves for all five encoders."""
     session = session or make_session()
     crfs = sweep_crfs()
+    session.prefetch(
+        (codec, video, scale_crf(codec, crf), comparable_preset(codec, AV1_PRESET))
+        for codec in ALL_CODECS
+        for crf in crfs
+    )
     series = []
     rows = []
     for codec in ALL_CODECS:

@@ -61,6 +61,15 @@ def _rate_curve(
 def run(session: Session | None = None, video: str = "game1") -> ExperimentResult:
     """Compute BD-rate/runtime per codec and the SVT-AV1 RD curve."""
     session = session or make_session()
+    session.prefetch(
+        [
+            (codec, video, scale_crf(codec, crf),
+             comparable_preset(codec, AV1_PRESET))
+            for codec in ALL_CODECS
+            for crf in _fig02_crfs()
+        ]
+        + [("svt-av1", video, crf, AV1_PRESET) for crf in _fig02_crfs()]
+    )
     curves = {}
     mean_time = {}
     for codec in ALL_CODECS:

@@ -21,6 +21,11 @@ MIX_KEYS = ("branch", "load", "store", "avx", "sse", "other")
 def run(session: Session | None = None) -> ExperimentResult:
     """Measure the mix across the CRF grid for every sweep video."""
     session = session or make_session()
+    session.prefetch(
+        ("svt-av1", video, crf, PRESET)
+        for video in sweep_videos()
+        for crf in sweep_crfs()
+    )
     rows = []
     avx_series = []
     for video in sweep_videos():

@@ -26,6 +26,11 @@ def run(session: Session | None = None) -> ExperimentResult:
     grid is reported intact.
     """
     session = session or make_session()
+    session.prefetch(
+        ("svt-av1", video, crf, PRESET)
+        for video in sweep_videos()
+        for crf in sweep_crfs()
+    )
     rows = []
     series = []
     for video in sweep_videos():

@@ -21,6 +21,11 @@ PRESET = 4
 def run(session: Session | None = None) -> ExperimentResult:
     """Top-down shares for every (video, CRF) cell."""
     session = session or make_session()
+    session.prefetch(
+        ("svt-av1", video, crf, PRESET)
+        for video in sweep_videos()
+        for crf in sweep_crfs()
+    )
     rows = []
     series = []
     for video in sweep_videos():

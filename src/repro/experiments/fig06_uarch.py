@@ -27,6 +27,11 @@ PANELS = (
 def run(session: Session | None = None) -> ExperimentResult:
     """Collect all eight panels for every (video, CRF) cell."""
     session = session or make_session()
+    session.prefetch(
+        ("svt-av1", video, crf, PRESET)
+        for video in sweep_videos()
+        for crf in sweep_crfs()
+    )
     rows = []
     series: dict[str, list[float]] = {}
     for video in sweep_videos():

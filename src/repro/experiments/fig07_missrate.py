@@ -20,6 +20,11 @@ PRESET = 4
 def run(session: Session | None = None) -> ExperimentResult:
     """Branch miss rate per (video, CRF)."""
     session = session or make_session()
+    session.prefetch(
+        ("svt-av1", video, crf, PRESET)
+        for video in sweep_videos()
+        for crf in sweep_crfs()
+    )
     rows = []
     series = []
     for video in sweep_videos():

@@ -23,6 +23,7 @@ def run(session: Session | None = None, video: str = "game1") -> ExperimentResul
     """Sweep presets 0-8 at fixed CRF."""
     session = session or make_session()
     presets = sweep_presets()
+    session.prefetch(("svt-av1", video, CRF, preset) for preset in presets)
     rows_a = []
     rows_c = []
     times, bitrates, psnrs = [], [], []

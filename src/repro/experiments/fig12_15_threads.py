@@ -57,6 +57,9 @@ def run(
         "svt-av1": (av1_crf, av1_preset),
     }
 
+    session.prefetch(
+        (codec, video) + settings[codec] for codec in THREAD_CODECS
+    )
     rows = []
     series = []
     threads_axis = tuple(range(1, max_threads + 1))

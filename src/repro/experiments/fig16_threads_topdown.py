@@ -28,6 +28,15 @@ def run(
     """Per-encoder top-down at 1..max_threads."""
     session = session or make_session()
     num_frames = 4 if fast_mode() else 8
+    session.prefetch(
+        (
+            codec,
+            video,
+            scale_crf(codec, AV1_CRF),
+            AV1_PRESET if codec in ("svt-av1", "libaom") else 5,
+        )
+        for codec in THREAD_CODECS
+    )
     rows = []
     series = []
     for codec in THREAD_CODECS:

@@ -31,6 +31,12 @@ from ..errors import ExperimentError, ObservabilityError
 from ..obs import events as obs_events
 from ..obs.context import ObsContext, activate_obs
 from ..obs.export import write_chrome_trace, write_span_log
+from ..parallel.pool import (
+    ParallelConfig,
+    activate_parallel,
+    resolve_cache_dir,
+    resolve_workers,
+)
 from ..resilience.executor import (
     ExecutionContext,
     ExecutionPolicy,
@@ -130,6 +136,9 @@ def run_experiment(
     metrics_json: str | None = None,
     span_log: str | None = None,
     obs: ObsContext | None = None,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+    cache_salt: str = "",
     **kwargs,
 ) -> ExperimentResult:
     """Regenerate one table/figure by id.
@@ -162,6 +171,18 @@ def run_experiment(
         An explicit :class:`~repro.obs.ObsContext` to collect into
         (testing — e.g. with a fake clock); one is created per run
         otherwise.
+    workers:
+        Sweep cells execute over a process pool of this size (``0`` =
+        one per core); sweep grids are merged back in deterministic
+        point order, so results match a serial run.  Defaults to
+        ``REPRO_WORKERS``, else serial.
+    cache_dir:
+        Enable the content-addressed result cache rooted here (see
+        :mod:`repro.cache`); cells whose key is already stored are
+        served from disk.  Defaults to ``REPRO_CACHE_DIR``, else off.
+    cache_salt:
+        Extra string folded into every cache key (a campaign id);
+        changing it orphans previous entries.
     kwargs:
         Forwarded to the experiment runner (``session=``, figure
         selection, ...); unknown names raise
@@ -191,8 +212,11 @@ def run_experiment(
     if resume and ledger_path is None:
         ledger_path = default_ledger_path(experiment_id)
 
+    parallel = ParallelConfig(
+        workers=workers, cache_dir=cache_dir, cache_salt=cache_salt
+    )
     obs_context = obs if obs is not None else ObsContext()
-    with activate_obs(obs_context):
+    with activate_obs(obs_context), activate_parallel(parallel):
         with obs_context.tracer.span("session", experiment=experiment_id):
             if not resilient:
                 result = _call_runner(experiment_id, runner, kwargs)
@@ -212,6 +236,10 @@ def run_experiment(
                 context = ExecutionContext(policy, experiment_id=experiment_id)
                 with activate(context):
                     result = _call_runner(experiment_id, runner, kwargs)
+        result.provenance["parallel"] = {
+            "workers": resolve_workers(workers),
+            "cache_dir": resolve_cache_dir(cache_dir),
+        }
         if context is not None:
             result.provenance.update(context.guard.provenance())
             quarantined = context.guard.quarantined_keys()

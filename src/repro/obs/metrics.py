@@ -153,6 +153,27 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel sweep engine: each pool worker runs under
+        its own registry and ships the snapshot home, where counters
+        add, gauges take the shipped value (last-write-wins, matching
+        ``Gauge.set``), and histograms fold per-bucket counts — shipped
+        buckets must match any locally registered instrument of the
+        same name, enforced by :meth:`histogram`.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, shipped in snapshot.get("histograms", {}).items():
+            instrument = self.histogram(name, tuple(shipped["buckets"]))
+            for index, count in enumerate(shipped["counts"]):
+                instrument.counts[index] += count
+            instrument.total += shipped["sum"]
+            instrument.count += shipped["count"]
+
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
 

@@ -178,6 +178,102 @@ class Tracer:
         """
         return _AttachedParent(self, span)
 
+    def synthetic_thread(self) -> int:
+        """Allocate a timeline row for work not done by a live thread.
+
+        Pool workers are separate *processes*; their shipped spans get
+        one dense thread id per worker so the Chrome-trace export shows
+        them as distinct concurrent rows.
+        """
+        with self._lock:
+            tid = len(self._threads)
+            self._threads[f"synthetic-{tid}"] = tid  # type: ignore[index]
+        return tid
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent_id: int | None = None,
+        thread: int = 0,
+        status: str = OK,
+        error: str | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Append an already-timed, closed span (no ancestry stack).
+
+        Used by the parallel sweep engine for coordinating spans whose
+        timing was observed elsewhere (a worker process) rather than
+        measured on this thread.
+        """
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            end=end,
+            status=status,
+            error=error,
+            thread=thread,
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    def graft(
+        self,
+        records: list[dict[str, Any]],
+        *,
+        parent_id: int | None = None,
+        offset: float = 0.0,
+        thread_map: dict[int, int] | None = None,
+    ) -> list[Span]:
+        """Adopt serialized spans from another process into this trace.
+
+        ``records`` are :meth:`Span.to_jsonable` dicts shipped back by
+        a pool worker.  Span ids are remapped into this tracer's id
+        space (worker ids collide across workers), parent links inside
+        the batch are preserved, batch *roots* are re-parented under
+        ``parent_id`` (the coordinating ``sweep.cell`` span), times are
+        shifted by ``offset`` onto this tracer's clock, and worker-local
+        thread ids are translated through ``thread_map``.
+        """
+        id_map: dict[int, int] = {}
+        adopted: list[Span] = []
+        # Worker ids are allocated from a counter, so sorting by id
+        # guarantees parents are remapped before their children.
+        for record in sorted(records, key=lambda r: r["span_id"]):
+            foreign_parent = record.get("parent_id")
+            span = Span(
+                span_id=next(self._ids),
+                parent_id=(
+                    id_map[foreign_parent]
+                    if foreign_parent in id_map
+                    else parent_id
+                ),
+                name=record["name"],
+                start=record["start"] + offset,
+                end=(
+                    None
+                    if record.get("end") is None
+                    else record["end"] + offset
+                ),
+                status=record.get("status", OK),
+                error=record.get("error"),
+                thread=(thread_map or {}).get(
+                    record.get("thread", 0), record.get("thread", 0)
+                ),
+                attrs=dict(record.get("attrs", {})),
+            )
+            id_map[record["span_id"]] = span.span_id
+            adopted.append(span)
+        with self._lock:
+            self.spans.extend(adopted)
+        return adopted
+
     def finished_spans(self) -> list[Span]:
         """All closed spans, in start order."""
         with self._lock:

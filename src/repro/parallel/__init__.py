@@ -1,4 +1,10 @@
-"""Encoder thread-scaling models (the paper's §4.6 study)."""
+"""Parallel execution: thread-scaling models (§4.6) and the sweep pool.
+
+Two unrelated kinds of parallelism live here: the paper's *modelled*
+encoder thread scaling (:mod:`repro.parallel.scaling`,
+:mod:`repro.parallel.models`) and the harness's *actual* process-pool
+sweep execution (:mod:`repro.parallel.pool`).
+"""
 
 from .models import (
     GRAPH_BUILDERS,
@@ -7,6 +13,15 @@ from .models import (
     build_svt_av1_graph,
     build_x264_graph,
     build_x265_graph,
+)
+from .pool import (
+    CellSpec,
+    ParallelConfig,
+    activate_parallel,
+    current_parallel,
+    execute_cells,
+    resolve_cache_dir,
+    resolve_workers,
 )
 from .scaling import (
     ScalingCurve,
@@ -18,16 +33,23 @@ from .tasks import ScheduleResult, Task, TaskGraph
 
 __all__ = [
     "GRAPH_BUILDERS",
+    "CellSpec",
+    "ParallelConfig",
     "ScalingCurve",
     "ScalingPoint",
     "ScheduleResult",
     "Task",
     "TaskGraph",
+    "activate_parallel",
     "build_graph",
     "build_libaom_graph",
     "build_svt_av1_graph",
     "build_x264_graph",
     "build_x265_graph",
+    "current_parallel",
+    "execute_cells",
+    "resolve_cache_dir",
+    "resolve_workers",
     "thread_scaling",
     "topdown_with_threads",
 ]

@@ -1,0 +1,460 @@
+"""Parallel sweep execution: fan cells over a process pool.
+
+One characterization cell is CPU-bound, pure Python and completely
+independent of every other cell, which makes the sweep grids of the
+paper's figures embarrassingly parallel.  :func:`execute_cells` is the
+one engine both execution modes share:
+
+- **serial** (``workers=1``, the default) iterates the specs exactly
+  as :func:`repro.core.sweeps.sweep_cells` always has — same
+  ``sweep.cell`` span, same quarantine-drops-the-cell semantics;
+- **pooled** (``workers>1``) dispatches each not-yet-computed cell to
+  a :class:`~concurrent.futures.ProcessPoolExecutor` worker.  The
+  worker reconstructs a :class:`~repro.core.session.Session` and runs
+  *the same* ``Session.report`` code path the serial loop runs — the
+  full retry/fault/timeout/quarantine stack executes inside the
+  worker — then ships the serialized result home together with its
+  telemetry (spans, events, metrics snapshot).
+
+The parent re-parents each worker's spans under a coordinating
+``sweep.cell`` span, rebased onto the parent's monotonic clock via a
+``(wall, monotonic)`` anchor pair captured on both sides, so the
+Chrome-trace export shows true cross-process concurrency on one
+timeline.  Completed cells are appended to the parent's run ledger
+(resume keeps working), and worker metrics fold into the parent's
+registry without double-counting: only the worker bumps the per-cell
+counters, the parent merely merges.
+
+Worker processes are forked, so they inherit the parent's imports and
+environment; only the per-cell job (spec, machine, policies, cache
+location) crosses the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from ..cache import ResultCache
+from ..clock import SYSTEM_CLOCK
+from ..core.serialize import from_jsonable, to_jsonable
+from ..core.session import CellSpec, RunKey, Session
+from ..errors import ExperimentError, QuarantinedCellError
+from ..obs import events as obs_events
+from ..obs.context import ObsContext, activate_obs, current_obs
+from ..obs.events import Event
+from ..obs.span import ERROR, OK as SPAN_OK, active_tracer, trace_span
+from ..resilience.executor import (
+    CellOutcome,
+    ExecutionPolicy,
+    ResilienceGuard,
+)
+from ..resilience.ledger import OK, QUARANTINED
+
+#: Environment override for the default worker count (0 = all cores).
+_ENV_WORKERS = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """One experiment run's parallelism/caching knobs.
+
+    Installed by ``run_experiment`` via :func:`activate_parallel`, read
+    by :func:`resolve_workers`/:func:`resolve_cache_dir` so the knobs
+    reach every sweep without threading arguments through each
+    experiment module (the same ambient-context pattern as the
+    resilience and observability contexts).
+    """
+
+    workers: int | None = None       # None -> env -> 1; 0 -> all cores
+    cache_dir: str | None = None     # None -> env -> no cache
+    cache_salt: str = ""
+
+
+_current: ParallelConfig | None = None
+
+
+def current_parallel() -> ParallelConfig | None:
+    """The config installed by the innermost :func:`activate_parallel`."""
+    return _current
+
+
+@contextmanager
+def activate_parallel(config: ParallelConfig) -> Iterator[ParallelConfig]:
+    """Install ``config`` for the duration of one experiment run."""
+    global _current
+    previous = _current
+    _current = config
+    try:
+        yield config
+    finally:
+        _current = previous
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit > ambient > env > 1.
+
+    ``0`` anywhere in the chain means "one worker per core".
+    """
+    if workers is None and _current is not None:
+        workers = _current.workers
+    if workers is None:
+        raw = os.environ.get(_ENV_WORKERS, "")
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{_ENV_WORKERS}={raw!r} is not an integer"
+                ) from None
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ExperimentError(f"worker count must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def resolve_cache_dir(cache_dir: str | None = None) -> str | None:
+    """Effective cache directory: explicit > ambient > env > disabled."""
+    if cache_dir is None and _current is not None:
+        cache_dir = _current.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return cache_dir
+
+
+def run_spec(session: Session, spec: CellSpec) -> Any:
+    """Execute one grid point — the single cell-execution function.
+
+    Both the serial loop and every pool worker funnel through this
+    (and thus through ``Session.report``), so quarantine handling, span
+    attributes and ledger records cannot diverge between modes.
+    """
+    return session.report(spec.codec, spec.video, spec.crf, spec.preset)
+
+
+# -- worker side -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CellJob:
+    """Everything a worker needs to execute one cell, picklable."""
+
+    spec: CellSpec
+    machine: Any
+    num_frames: int | None
+    policy: ExecutionPolicy | None
+    experiment_id: str
+    cache_dir: str | None
+    cache_salt: str
+
+
+def _worker_cell(job: _CellJob) -> dict[str, Any]:
+    """Run one cell in a pool worker; ship result + telemetry home.
+
+    Runs under a fresh :class:`ObsContext` (the fork inherited the
+    parent's ambient collectors, which must not be touched from
+    another process) and, when the parent runs guarded, a fresh
+    ledger-less :class:`ResilienceGuard` carrying the parent's retry/
+    timeout/fault policies — checkpointing stays with the parent.
+    """
+    obs = ObsContext()
+    anchor_wall = time.time()
+    anchor_mono = obs.clock.monotonic()
+    session = Session(machine=job.machine, num_frames=job.num_frames)
+    if job.policy is not None:
+        session.guard = ResilienceGuard(job.policy, job.experiment_id)
+    if job.cache_dir:
+        session.cache = ResultCache(job.cache_dir, salt=job.cache_salt)
+    key = RunKey(
+        job.spec.codec, job.spec.video, job.spec.crf, job.spec.preset,
+        job.num_frames,
+    )
+    status, payload, error = OK, None, None
+    with activate_obs(obs):
+        cell_start = obs.clock.monotonic()
+        try:
+            payload = to_jsonable(run_spec(session, job.spec))
+        except QuarantinedCellError as exc:
+            status = QUARANTINED
+            error = f"{type(exc.cause).__name__}: {exc.cause}"
+        cell_end = obs.clock.monotonic()
+    outcome = (
+        session.guard.outcomes[-1]
+        if session.guard is not None and session.guard.outcomes
+        else None
+    )
+    return {
+        "key": session.cell_key(key),
+        "status": status,
+        "payload": payload,
+        "error": error,
+        "attempts": outcome.attempts if outcome is not None else 1,
+        "elapsed": (
+            outcome.elapsed_seconds
+            if outcome is not None
+            else cell_end - cell_start
+        ),
+        "cell_start": cell_start,
+        "cell_end": cell_end,
+        "anchors": {"wall": anchor_wall, "mono": anchor_mono},
+        "spans": [span.to_jsonable() for span in obs.tracer.spans],
+        "events": [event.to_jsonable() for event in obs.events.events],
+        "metrics": obs.metrics.snapshot(),
+        "pid": os.getpid(),
+    }
+
+
+# -- parent side -----------------------------------------------------
+
+
+def _worker_policy(guard: ResilienceGuard | None) -> ExecutionPolicy | None:
+    """The parent's policy, rebuilt for in-worker execution.
+
+    The ledger stays with the parent (workers get ``ledger_path=None``)
+    and the fault plan is resolved *here* and shipped explicitly, so
+    workers do not re-read the environment.  Per-site fault hit
+    counters stay correct because each site is dispatched to exactly
+    one worker.
+    """
+    if guard is None:
+        return None
+    base = guard.policy
+    return ExecutionPolicy(
+        retry=base.retry,
+        cell_timeout=base.cell_timeout,
+        ledger_path=None,
+        resume=False,
+        faults=base.fault_plan(),
+    )
+
+
+def _merge_result(
+    session: Session,
+    spec: CellSpec,
+    key: RunKey,
+    index: int,
+    result: dict[str, Any],
+    *,
+    offset: float,
+    thread_rows: dict[tuple[int, int], int],
+) -> None:
+    """Adopt one worker's result: report, ledger, spans, metrics."""
+    guard = session.guard
+    if result["status"] == OK:
+        report = from_jsonable(result["payload"])
+        session._reports[key] = report
+        if guard is not None:
+            guard.record_remote(
+                CellOutcome(
+                    key=result["key"],
+                    status=OK,
+                    attempts=result["attempts"],
+                    elapsed_seconds=result["elapsed"],
+                ),
+                payload=result["payload"],
+            )
+    else:
+        session._quarantined[key] = QuarantinedCellError(
+            result["key"], RuntimeError(result["error"])
+        )
+        if guard is not None:
+            guard.record_remote(
+                CellOutcome(
+                    key=result["key"],
+                    status=QUARANTINED,
+                    attempts=result["attempts"],
+                    elapsed_seconds=result["elapsed"],
+                    error=result["error"],
+                )
+            )
+
+    obs = current_obs()
+    tracer = active_tracer()
+    if tracer is not None:
+        # One synthetic timeline row per (worker pid, worker thread),
+        # stable across cells, so the Chrome trace shows each worker as
+        # its own concurrent lane.
+        def row(local_tid: int) -> int:
+            rid = thread_rows.get((result["pid"], local_tid))
+            if rid is None:
+                rid = thread_rows[(result["pid"], local_tid)] = (
+                    tracer.synthetic_thread()
+                )
+            return rid
+
+        thread_map = {
+            tid: row(tid)
+            for tid in sorted(
+                {record.get("thread", 0) for record in result["spans"]} | {0}
+            )
+        }
+        current = tracer.current()
+        coordinator = tracer.record_span(
+            "sweep.cell",
+            result["cell_start"] + offset,
+            result["cell_end"] + offset,
+            parent_id=current.span_id if current is not None else None,
+            thread=thread_map[0],
+            status=SPAN_OK if result["status"] == OK else ERROR,
+            error=(
+                None
+                if result["status"] == OK
+                else f"QuarantinedCellError: {result['error']}"
+            ),
+            point=str(spec),
+            index=index,
+            worker=result["pid"],
+        )
+        tracer.graft(
+            result["spans"],
+            parent_id=coordinator.span_id,
+            offset=offset,
+            thread_map=thread_map,
+        )
+    if obs is not None:
+        for record in result["events"]:
+            # Append rebased copies directly: the worker already
+            # mirrored any warning to the (shared) stderr.
+            obs.events.events.append(
+                Event(
+                    kind=record["kind"],
+                    message=record["message"],
+                    time=record["time"] + offset,
+                    level=record["level"],
+                    fields=dict(record["fields"]),
+                )
+            )
+        obs.metrics.merge_snapshot(result["metrics"])
+
+
+def _execute_serial(
+    session: Session, specs: list[CellSpec]
+) -> list[Any | None]:
+    """The ``workers=1`` engine: the classic sweep loop, spec-driven."""
+    results: list[Any | None] = []
+    for index, spec in enumerate(specs):
+        try:
+            with trace_span("sweep.cell", point=str(spec), index=index):
+                results.append(run_spec(session, spec))
+        except QuarantinedCellError:
+            results.append(None)
+    return results
+
+
+def _execute_pooled(
+    session: Session, specs: list[CellSpec], workers: int
+) -> list[Any | None]:
+    """Fan uncomputed cells over a process pool; merge deterministically."""
+    parent_wall = time.time()
+    parent_mono = SYSTEM_CLOCK.monotonic()
+    guard = session.guard
+    keys = [
+        RunKey(s.codec, s.video, s.crf, s.preset, session.num_frames)
+        for s in specs
+    ]
+
+    pending: dict[RunKey, tuple[int, CellSpec]] = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if (
+            key in session._reports
+            or key in session._quarantined
+            or key in pending
+        ):
+            continue
+        if guard is not None and guard.is_resumable(session.cell_key(key)):
+            # Replay from the ledger in the parent: cheap, and the
+            # RESUMED bookkeeping stays identical to the serial path.
+            with trace_span("sweep.cell", point=str(spec), index=index):
+                run_spec(session, spec)
+            continue
+        pending[key] = (index, spec)
+
+    if pending:
+        policy = _worker_policy(guard)
+        cache_dir = session.cache.root if session.cache is not None else None
+        cache_salt = session.cache.salt if session.cache is not None else ""
+        experiment_id = guard.experiment_id if guard is not None else ""
+        worker_count = min(workers, len(pending))
+        obs_events.emit(
+            "pool.start",
+            f"dispatching {len(pending)} cell(s) over "
+            f"{worker_count} worker(s)",
+            cells=len(pending),
+            workers=worker_count,
+        )
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        thread_rows: dict[tuple[int, int], int] = {}
+        with ProcessPoolExecutor(
+            max_workers=worker_count, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _worker_cell,
+                    _CellJob(
+                        spec=spec,
+                        machine=session.machine,
+                        num_frames=session.num_frames,
+                        policy=policy,
+                        experiment_id=experiment_id,
+                        cache_dir=cache_dir,
+                        cache_salt=cache_salt,
+                    ),
+                ): key
+                for key, (index, spec) in pending.items()
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                index, spec = pending[key]
+                result = future.result()
+                offset = (
+                    parent_mono
+                    - result["anchors"]["mono"]
+                    + result["anchors"]["wall"]
+                    - parent_wall
+                )
+                _merge_result(
+                    session, spec, key, index, result,
+                    offset=offset, thread_rows=thread_rows,
+                )
+        obs_events.emit(
+            "pool.done",
+            f"pool completed {len(pending)} cell(s)",
+            cells=len(pending),
+        )
+
+    # Merged output preserves the caller's point order exactly;
+    # quarantined cells surface as None, mirroring the serial drop.
+    return [
+        None if key in session._quarantined else session._reports.get(key)
+        for key in keys
+    ]
+
+
+def execute_cells(
+    session: Session,
+    specs: Iterable[CellSpec | tuple],
+    workers: int | None = None,
+) -> list[Any | None]:
+    """Execute a batch of grid points serially or over a process pool.
+
+    Returns one entry per input spec, in input order: the cell's
+    :class:`~repro.uarch.perfcounters.PerfReport`, or ``None`` where
+    the cell was quarantined (callers drop those points, exactly as
+    :func:`~repro.core.sweeps.sweep_cells` does).
+    """
+    normalised = [CellSpec.of(spec) for spec in specs]
+    count = resolve_workers(workers)
+    if count <= 1 or len(normalised) <= 1:
+        return _execute_serial(session, normalised)
+    return _execute_pooled(session, normalised, count)

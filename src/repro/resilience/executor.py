@@ -158,6 +158,25 @@ class ResilienceGuard:
                 )
             )
 
+    def is_resumable(self, key: str) -> bool:
+        """Whether ``key`` would replay from the ledger instead of run.
+
+        The parallel engine asks this before dispatching, so resumable
+        cells replay in the parent (cheap, deterministic) and only
+        genuinely missing cells pay for a pool round-trip.
+        """
+        return key in self._resumable
+
+    def record_remote(self, outcome: CellOutcome, payload: Any = None) -> None:
+        """Adopt the outcome of a cell executed in a pool worker.
+
+        Ledger append and provenance bookkeeping only: the worker's own
+        guard already bumped the cells.ok/quarantined/retry counters,
+        and those arrive via the merged metrics snapshot — bumping them
+        here too would double-count.
+        """
+        self._record(outcome, payload=payload)
+
     def quarantined_keys(self) -> list[str]:
         return [o.key for o in self.outcomes if o.status == QUARANTINED]
 

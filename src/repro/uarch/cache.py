@@ -90,6 +90,44 @@ class Cache:
             ways.insert(0, tag)
         return True
 
+    def access_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Access ``lines`` in stream order; returns the miss subset.
+
+        Equivalent to calling :meth:`access` per element (LRU state
+        updates are order-dependent, so the walk stays scalar), but the
+        set indices are precomputed in one vector op and the whole
+        batch is converted to native ints up front — an order of
+        magnitude cheaper than per-element numpy scalar handling.  The
+        returned misses preserve stream order, which is what lets the
+        hierarchy cascade a batch level-by-level with identical stats.
+        """
+        count = int(lines.size)
+        self.accesses += count
+        if not count:
+            return lines
+        indices = (lines & self._set_mask).tolist()
+        tags = lines.tolist()
+        sets = self._sets
+        capacity = self.config.ways
+        miss_positions: list[int] = []
+        record_miss = miss_positions.append
+        for position in range(count):
+            ways = sets[indices[position]]
+            tag = tags[position]
+            try:
+                pos = ways.index(tag)
+            except ValueError:
+                record_miss(position)
+                ways.insert(0, tag)
+                if len(ways) > capacity:
+                    ways.pop()
+                continue
+            if pos:
+                ways.pop(pos)
+                ways.insert(0, tag)
+        self.misses += len(miss_positions)
+        return lines[miss_positions]
+
     @property
     def miss_rate(self) -> float:
         """Misses per access (0 when idle)."""
@@ -174,10 +212,19 @@ class CacheHierarchy:
                 self.llc.access(line)
 
     def access_lines(self, lines: np.ndarray) -> None:
-        """Send a batch of sampled line addresses down the hierarchy."""
-        access = self.access_line
-        for line in lines:
-            access(int(line))
+        """Send a batch of sampled line addresses down the hierarchy.
+
+        Cascades whole levels instead of whole lines: L1D filters the
+        stream, only its (order-preserved) misses reach L2, and only
+        L2's misses reach the LLC.  Each level therefore observes
+        exactly the access subsequence it would have seen under the
+        per-line cascade of :meth:`access_line`, so every hit/miss
+        decision — and thus :meth:`stats` — is identical.
+        """
+        stream = np.ascontiguousarray(lines, dtype=np.int64)
+        stream = self.l1d.access_batch(stream)
+        stream = self.l2.access_batch(stream)
+        self.llc.access_batch(stream)
 
     def stats(self) -> HierarchyStats:
         """Sampled-and-rescaled access/miss counts."""
@@ -208,25 +255,72 @@ def expand_touches(
     bases, rows, row_bytes, pitches, _writes, repeats = (
         instrumenter.touch_arrays()
     )
-    out: list[np.ndarray] = []
-    for i in range(len(bases)):
-        base = bases[i]
-        pitch = pitches[i]
-        nrows = rows[i]
-        nbytes = row_bytes[i]
-        row_starts = base + pitch * np.arange(nrows, dtype=np.int64)
-        first_line = row_starts // line_bytes
-        last_line = (row_starts + max(nbytes - 1, 0)) // line_bytes
-        lines_per_row = int((last_line - first_line).max()) + 1 if nrows else 0
-        lines = first_line[:, None] + np.arange(lines_per_row, dtype=np.int64)
-        mask = lines <= last_line[:, None]
-        flat = lines[mask]
-        sampled = flat[(flat % sample_period) == 0]
-        for _ in range(repeats[i]):
-            out.append(sampled)
-    if not out:
+    touches = len(bases)
+    if touches == 0:
         return np.empty(0, dtype=np.int64)
-    return np.concatenate(out)
+    bases = np.asarray(bases, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    row_bytes = np.asarray(row_bytes, dtype=np.int64)
+    pitches = np.asarray(pitches, dtype=np.int64)
+    repeats = np.asarray(repeats, dtype=np.int64)
+
+    # Stage 1 — expand touches to rows.  ``grouped_arange`` below is
+    # the standard repeat/offset trick: arange over the total, minus
+    # each group's start offset, gives 0..len-1 within every group.
+    total_rows = int(rows.sum())
+    if total_rows == 0:
+        return np.empty(0, dtype=np.int64)
+    row_touch = np.repeat(np.arange(touches, dtype=np.int64), rows)
+    row_offsets = np.concatenate(([0], np.cumsum(rows)[:-1]))
+    row_local = (
+        np.arange(total_rows, dtype=np.int64)
+        - np.repeat(row_offsets, rows)
+    )
+    row_starts = bases[row_touch] + pitches[row_touch] * row_local
+    first_line = row_starts // line_bytes
+    last_line = (
+        row_starts + np.maximum(row_bytes[row_touch] - 1, 0)
+    ) // line_bytes
+
+    # Stage 2 — expand rows to cache lines, in row order within each
+    # touch and line order within each row (the scalar walk's order).
+    lines_in_row = last_line - first_line + 1
+    total_lines = int(lines_in_row.sum())
+    line_row = np.repeat(np.arange(total_rows, dtype=np.int64), lines_in_row)
+    line_offsets = np.concatenate(([0], np.cumsum(lines_in_row)[:-1]))
+    line_local = (
+        np.arange(total_lines, dtype=np.int64)
+        - np.repeat(line_offsets, lines_in_row)
+    )
+    flat = first_line[line_row] + line_local
+
+    # Set sampling, tracking how many sampled lines each touch kept.
+    sampled_mask = (flat % sample_period) == 0
+    blocks = flat[sampled_mask]
+    block_len = np.bincount(
+        row_touch[line_row[sampled_mask]], minlength=touches
+    )
+
+    # Stage 3 — apply ``repeats`` as whole-block tiling: each touch's
+    # sampled block appears ``repeats`` times *consecutively* (the
+    # stream order of the original per-touch append loop), which plain
+    # ``np.repeat`` on elements would not preserve.
+    out_len = block_len * repeats
+    total_out = int(out_len.sum())
+    if total_out == 0:
+        return np.empty(0, dtype=np.int64)
+    out_touch = np.repeat(np.arange(touches, dtype=np.int64), out_len)
+    out_offsets = np.concatenate(([0], np.cumsum(out_len)[:-1]))
+    out_local = (
+        np.arange(total_out, dtype=np.int64)
+        - np.repeat(out_offsets, out_len)
+    )
+    block_starts = np.concatenate(([0], np.cumsum(block_len)[:-1]))
+    source = (
+        block_starts[out_touch]
+        + out_local % np.maximum(block_len[out_touch], 1)
+    )
+    return blocks[source]
 
 
 def simulate_encode_traffic(

@@ -171,3 +171,97 @@ class TestExpandTouches:
         per_row_min = max(1, cols // 64)
         per_row_max = cols // 64 + 1
         assert rows * per_row_min <= len(lines) <= rows * per_row_max
+
+
+def reference_expand(inst, sample_period=8, line_bytes=64):
+    """The pre-vectorization scalar expansion, kept as the oracle."""
+    bases, rows, row_bytes, pitches, _writes, repeats = inst.touch_arrays()
+    out = []
+    for touch in range(len(bases)):
+        block = []
+        for row in range(rows[touch]):
+            start = bases[touch] + pitches[touch] * row
+            first = start // line_bytes
+            last = (start + max(row_bytes[touch] - 1, 0)) // line_bytes
+            block.extend(
+                line for line in range(first, last + 1)
+                if line % sample_period == 0
+            )
+        for _ in range(repeats[touch]):
+            out.extend(block)
+    return np.asarray(out, dtype=np.int64)
+
+
+def random_instrumenter(rng, touches):
+    inst = Instrumenter()
+    planes = [
+        inst.register_plane(proxy_width=int(rng.integers(64, 2048)))
+        for _ in range(3)
+    ]
+    for _ in range(touches):
+        inst.touch(
+            planes[int(rng.integers(3))],
+            row=int(rng.integers(0, 32)),
+            rows=int(rng.integers(1, 16)),
+            col=int(rng.integers(0, 32)),
+            cols=int(rng.integers(1, 512)),
+            repeats=int(rng.integers(1, 4)),
+        )
+    return inst
+
+
+class TestBatchScalarEquivalence:
+    """The vectorized paths must be bit-equal to the scalar walk."""
+
+    def test_access_batch_matches_scalar_stream(self):
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 4096, size=2000, dtype=np.int64)
+
+        scalar = small_cache(size=1024, ways=2)
+        scalar_misses = [
+            line for line in lines.tolist() if not scalar.access(line)
+        ]
+        batched = small_cache(size=1024, ways=2)
+        missed = batched.access_batch(lines)
+
+        assert missed.tolist() == scalar_misses
+        assert batched.accesses == scalar.accesses
+        assert batched.misses == scalar.misses
+        assert batched._sets == scalar._sets  # identical LRU state
+
+    def test_batch_preserves_stream_order(self):
+        cache = small_cache(size=256, ways=2)
+        stream = np.array([0, 2, 0, 4, 2, 6], dtype=np.int64)
+        missed = cache.access_batch(stream)
+        # 2-way set: the second 0 hits; 4 evicts 2, which then re-misses.
+        assert missed.tolist() == [0, 2, 4, 2, 6]  # stream order, no sort
+
+    @pytest.mark.parametrize("sample_period", [1, 8])
+    def test_expand_touches_matches_reference(self, sample_period):
+        rng = np.random.default_rng(11)
+        inst = random_instrumenter(rng, touches=40)
+        fast = expand_touches(inst, sample_period=sample_period)
+        oracle = reference_expand(inst, sample_period=sample_period)
+        assert np.array_equal(fast, oracle)
+
+    def test_hierarchy_batch_matches_per_line_cascade(self):
+        rng = np.random.default_rng(13)
+        inst = random_instrumenter(rng, touches=30)
+        lines = expand_touches(inst, sample_period=8)
+
+        batched = CacheHierarchy()
+        batched.access_lines(lines)
+        scalar = CacheHierarchy()
+        for line in lines.tolist():
+            scalar.access_line(line)
+
+        assert batched.stats() == scalar.stats()
+
+    @given(st.integers(0, 2 ** 31), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_access_batch_single_element_matches_access(self, line, ways):
+        batched = small_cache(size=64 * ways * 4, ways=ways)
+        scalar = small_cache(size=64 * ways * 4, ways=ways)
+        array = np.array([line], dtype=np.int64)
+        assert (len(batched.access_batch(array)) == 0) == scalar.access(line)
+        assert batched.misses == scalar.misses
