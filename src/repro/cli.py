@@ -15,6 +15,10 @@ Four commands cover the library's workflows:
     Inspect (``--stats``) or empty (``--clear``) a result cache.
 ``trace``
     Validate a captured Chrome trace or summarise a span log.
+``validate``
+    Regenerate the claimed experiments and machine-check the paper's
+    claims (plus the simulator's structural invariants) against them;
+    exits non-zero when a claim regresses.
 """
 
 from __future__ import annotations
@@ -35,6 +39,12 @@ from .obs.export import (
     validate_chrome_trace_file,
 )
 from .profiling import format_perf_report
+from .validate import (
+    DEFAULT_SEED,
+    claim_experiments,
+    validate as validate_claims_run,
+    write_report,
+)
 from .video import vbench
 
 
@@ -120,6 +130,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="memoise cell results in a content-addressed cache at "
              "PATH (default: REPRO_CACHE_DIR, else disabled)",
     )
+    experiment.add_argument(
+        "--validate", action="store_true",
+        help="evaluate the paper claims registered for this experiment "
+             "and record the verdicts in provenance[\"claims\"]",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="machine-check the paper's claims against fresh results",
+    )
+    validate.add_argument(
+        "--experiment", action="append", dest="experiments", default=None,
+        choices=claim_experiments(), metavar="ID",
+        help="validate only this experiment's claims (repeatable; "
+             f"default: all of {', '.join(claim_experiments())})",
+    )
+    validate.add_argument(
+        "--json", action="store_true",
+        help="print the full claims report as JSON instead of text",
+    )
+    validate.add_argument(
+        "--strict", action="store_true",
+        help="treat skipped claims (missing data) as failures",
+    )
+    validate.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON claims report here (the CI artifact)",
+    )
+    validate.add_argument(
+        "--workers", type=_nonnegative_int, default=None, metavar="N",
+        help="run sweep cells over a pool of N worker processes "
+             "(0 = one per core; default: REPRO_WORKERS, else serial)",
+    )
+    validate.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="serve already-computed cells from the result cache at "
+             "PATH (default: REPRO_CACHE_DIR, else disabled)",
+    )
+    validate.add_argument(
+        "--seed", type=_nonnegative_int, default=DEFAULT_SEED,
+        help="root seed of the randomized invariant harness "
+             "(default: %(default)s)",
+    )
+    validate.add_argument(
+        "--invariant-cases", type=_nonnegative_int, default=25,
+        metavar="N", help="randomized cases per invariant (default: 25)",
+    )
+    validate.add_argument(
+        "--skip-invariants", action="store_true",
+        help="check paper claims only, without the invariant harness",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a result cache"
@@ -149,6 +210,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a hierarchical timing summary of a span log",
     )
     return parser
+
+
+def _run_validate_command(args: argparse.Namespace) -> int:
+    """``repro validate``: the paper-claims regression gate."""
+    try:
+        report = validate_claims_run(
+            args.experiments,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+            invariant_cases=max(args.invariant_cases, 1),
+            with_invariants=not args.skip_invariants,
+        )
+        if args.out is not None:
+            write_report(args.out, report)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json(indent=2) if args.json else report.format_text())
+    return 0 if report.passed(strict=args.strict) else 1
 
 
 def _run_cache_command(args: argparse.Namespace) -> int:
@@ -234,6 +315,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 span_log=args.span_log,
                 workers=args.workers,
                 cache_dir=args.cache_dir,
+                validate_claims=args.validate,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -249,6 +331,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cells=[q["cell"] for q in quarantined],
             )
         return 0
+
+    if args.command == "validate":
+        return _run_validate_command(args)
 
     if args.command == "cache":
         return _run_cache_command(args)

@@ -92,6 +92,17 @@ class CacheError(ReproError):
     """
 
 
+class ValidationError(ReproError):
+    """The claims engine was driven with malformed data or config.
+
+    Raised for structural problems — an unknown claim id, an extractor
+    fed an experiment result missing its series, a checker given an
+    empty or non-finite grid.  A claim that *evaluates* but does not
+    hold never raises: failures are verdicts in the report, because a
+    regression gate must report every claim, not stop at the first.
+    """
+
+
 class ObservabilityError(ReproError):
     """A telemetry artifact could not be produced or understood.
 

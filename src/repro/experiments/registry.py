@@ -139,6 +139,7 @@ def run_experiment(
     workers: int | None = None,
     cache_dir: str | None = None,
     cache_salt: str = "",
+    validate_claims: bool = False,
     **kwargs,
 ) -> ExperimentResult:
     """Regenerate one table/figure by id.
@@ -183,6 +184,11 @@ def run_experiment(
     cache_salt:
         Extra string folded into every cache key (a campaign id);
         changing it orphans previous entries.
+    validate_claims:
+        Evaluate the paper claims registered for this experiment (see
+        :mod:`repro.validate`) over the fresh result and record the
+        verdicts in ``provenance["claims"]``.  Evaluation never fails
+        the run — failed claims are verdicts, not exceptions.
     kwargs:
         Forwarded to the experiment runner (``session=``, figure
         selection, ...); unknown names raise
@@ -251,6 +257,12 @@ def run_experiment(
                     experiment=experiment_id,
                     cells=quarantined,
                 )
+        if validate_claims:
+            # Imported at call time: repro.validate pulls in this
+            # module for its engine, so a top-level import would cycle.
+            from ..validate.claims import evaluate_result_claims
+
+            evaluate_result_claims(result)
     result.provenance["telemetry"] = obs_context.telemetry_summary()
 
     spans = obs_context.tracer.spans

@@ -66,6 +66,12 @@ class ObsContext:
             "cells_resumed": int(counters.get("cells.resumed", 0)),
             "retries": int(counters.get("cell.retries", 0)),
             "quarantined": int(counters.get("cells.quarantined", 0)),
+            # Paper-claim verdicts counted by the validation engine
+            # (all zero unless the run validated claims).
+            "claims": {
+                status: int(counters.get(f"claims.{status}", 0))
+                for status in ("pass", "fail", "skip")
+            },
             "metrics": snapshot,
         }
 

@@ -90,7 +90,10 @@ class TagePredictor(BranchPredictor):
         self._history: list[int] = []
         self._max_history = max(t.history_length for t in tables)
         self._use_alt = use_alt_threshold  # 4-bit counter, >=8 favours alt
-        self._rng = np.random.default_rng(12345)
+        # Allocation is deliberately deterministic (first useful==0
+        # entry wins; no randomized victim), so replaying a trace on a
+        # fresh instance reproduces every prediction bit-for-bit — the
+        # property the validation invariant harness asserts.
         # Per-prediction scratch, filled by predict() and consumed by
         # update() (the CBP contract guarantees the pairing).
         self._hit = -1
@@ -201,15 +204,52 @@ class TagePredictor(BranchPredictor):
         if len(self._history) > self._max_history + 1:
             self._history.pop(0)
         for i, table in enumerate(self._tables):
-            length = table.history_length
-            outgoing = (
-                self._history[-(length + 1)]
-                if len(self._history) > length
-                else 0
-            )
+            outgoing = self._outgoing_bit(table.history_length)
             self._fold_index[i].push(bit, outgoing)
             self._fold_tag0[i].push(bit, outgoing)
             self._fold_tag1[i].push(bit, outgoing)
+
+    def _outgoing_bit(self, length: int) -> int:
+        """Outcome leaving a ``length``-bit history window, zero-filled.
+
+        Called *after* the new outcome is appended, so the bit sliding
+        out of the window sits ``length + 1`` positions from the end.
+        During warm-up — fewer than ``length + 1`` recorded outcomes —
+        the conceptual window is padded with zeros, so the outgoing bit
+        is 0; indexing ``self._history[-(length + 1)]`` unguarded would
+        wrap around to recent outcomes and corrupt every fold.
+        """
+        if len(self._history) <= length:
+            return 0
+        return self._history[-(length + 1)]
+
+    # -- validation hooks ----------------------------------------------
+
+    def history_snapshot(self) -> tuple[int, ...]:
+        """Retained global-history bits, oldest first (testing hook)."""
+        return tuple(self._history)
+
+    def fold_snapshot(self) -> list[dict[str, int]]:
+        """Per-table folded-history register state (testing hook).
+
+        The invariant harness recomputes each fold from the raw
+        outcome stream via a straightforward reference implementation
+        and asserts it matches these incrementally maintained values —
+        including during warm-up, where the zero-fill of
+        :meth:`_outgoing_bit` is what keeps them consistent.
+        """
+        return [
+            {
+                "history_length": table.history_length,
+                "index_fold": self._fold_index[i].value,
+                "index_width": self._fold_index[i].width,
+                "tag0_fold": self._fold_tag0[i].value,
+                "tag0_width": self._fold_tag0[i].width,
+                "tag1_fold": self._fold_tag1[i].value,
+                "tag1_width": self._fold_tag1[i].width,
+            }
+            for i, table in enumerate(self._tables)
+        ]
 
     @property
     def storage_bits(self) -> int:

@@ -32,16 +32,44 @@ class TopDown:
     frontend_latency: float = 0.0
     frontend_bandwidth: float = 0.0
 
+    #: Slack for decomposition sums: far looser than float error, far
+    #: tighter than any real accounting bug.
+    _DECOMP_TOLERANCE = 1e-6
+
     def __post_init__(self) -> None:
         total = self.retiring + self.bad_speculation + self.frontend + self.backend
         if not 0.999 <= total <= 1.001:
             raise SimulationError(
                 f"top-down shares must sum to 1, got {total:.4f}"
             )
-        for name in ("retiring", "bad_speculation", "frontend", "backend"):
+        for name in (
+            "retiring", "bad_speculation", "frontend", "backend",
+            "backend_memory", "backend_core", "frontend_latency",
+            "frontend_bandwidth",
+        ):
             value = getattr(self, name)
             if not -1e-9 <= value <= 1.0 + 1e-9:
                 raise SimulationError(f"{name} share {value} outside [0, 1]")
+        # A decomposition, when provided, must re-sum to its parent
+        # share; all-zero children mean "not decomposed" (the default).
+        self._check_decomposition(
+            "backend", self.backend, self.backend_memory, self.backend_core
+        )
+        self._check_decomposition(
+            "frontend", self.frontend, self.frontend_latency,
+            self.frontend_bandwidth,
+        )
+
+    def _check_decomposition(
+        self, parent: str, share: float, first: float, second: float
+    ) -> None:
+        if first == 0.0 and second == 0.0:
+            return
+        if abs((first + second) - share) > self._DECOMP_TOLERANCE:
+            raise SimulationError(
+                f"{parent} decomposition {first:.6f} + {second:.6f} != "
+                f"{parent} share {share:.6f}"
+            )
 
     @property
     def wasted(self) -> float:

@@ -1,0 +1,90 @@
+"""Paper-claims validation: the reproduction's regression gate.
+
+The paper makes quantitative *claims* — IPC ≈ 2 and flat across CRF,
+runtime ∝ instruction count, backend > frontend > bad speculation,
+L1D/L2 MPKI rising with CRF, TAGE ≫ Gshare, a runtime cliff from
+preset 0 to 8 — and every figure of this reproduction is only useful
+while those claims still hold.  This package machine-checks them:
+
+- :mod:`repro.validate.checkers` — the predicate vocabulary
+  (monotonicity, flatness, range, ratio, ordering, correlation);
+- :mod:`repro.validate.claims` — each paper claim declared as a
+  checker + extractor + tolerance over one experiment's result grid;
+- :mod:`repro.validate.invariants` — a seeded randomized harness for
+  the structural identities the claims rest on (slot-accounting sums,
+  cache-level cascades, batch/scalar parity, predictor determinism);
+- :mod:`repro.validate.engine` — ``repro validate``: run the claimed
+  experiments (sharing one session and the result cache), evaluate,
+  and emit one pass/fail report.
+
+Check the claims from the CLI::
+
+    python -m repro validate --json --out claims.json
+    python -m repro validate --experiment fig04 --strict
+"""
+
+from .checkers import (
+    CHECKERS,
+    CheckOutcome,
+    check_correlation,
+    check_flat,
+    check_monotonic,
+    check_ordering,
+    check_range,
+    check_ratio,
+)
+from .claims import (
+    CLAIMS,
+    CLAIMS_SCHEMA_VERSION,
+    Claim,
+    ClaimVerdict,
+    claim_experiments,
+    claim_ids,
+    claims_for,
+    evaluate_claim,
+    evaluate_result_claims,
+)
+from .engine import (
+    SESSION_EXPERIMENTS,
+    ValidationReport,
+    validate,
+    write_report,
+)
+from .invariants import (
+    DEFAULT_SEED,
+    INVARIANTS,
+    InvariantOutcome,
+    reference_fold,
+    run_invariant,
+    run_invariants,
+)
+
+__all__ = [
+    "CHECKERS",
+    "CLAIMS",
+    "CLAIMS_SCHEMA_VERSION",
+    "DEFAULT_SEED",
+    "INVARIANTS",
+    "SESSION_EXPERIMENTS",
+    "CheckOutcome",
+    "Claim",
+    "ClaimVerdict",
+    "InvariantOutcome",
+    "ValidationReport",
+    "check_correlation",
+    "check_flat",
+    "check_monotonic",
+    "check_ordering",
+    "check_range",
+    "check_ratio",
+    "claim_experiments",
+    "claim_ids",
+    "claims_for",
+    "evaluate_claim",
+    "evaluate_result_claims",
+    "reference_fold",
+    "run_invariant",
+    "run_invariants",
+    "validate",
+    "write_report",
+]

@@ -1,0 +1,274 @@
+"""Primitive claim checkers: small, declarative trend predicates.
+
+Every paper claim reduces to one of a handful of shapes over a numeric
+grid — a series is *monotone* (modulo noise), *flat* (within a
+relative tolerance), stays inside a *range*, two aggregates satisfy a
+*ratio*, several aligned series obey an elementwise *ordering*, or two
+series *correlate*.  Each checker here takes plain sequences plus its
+tolerances and returns a :class:`CheckOutcome` carrying the measured
+value, the expectation it was held against, and enough detail to
+debug a failure from the JSON report alone.
+
+Checkers never raise on legitimately shaped data; malformed inputs
+(empty series, mismatched lengths) raise
+:class:`~repro.errors.ValidationError` so a claim wired to the wrong
+extractor fails loudly rather than passing vacuously.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One checker's verdict over one group of values."""
+
+    passed: bool
+    #: Headline measured quantity (spread, ratio, correlation, ...).
+    measured: float
+    #: Human-readable expectation the measurement was held against.
+    expected: str
+    #: Checker-specific diagnostics, JSON-able.
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "measured": self.measured,
+            "expected": self.expected,
+            "detail": self.detail,
+        }
+
+
+def _require_values(values: Sequence[float], checker: str, n: int = 1) -> None:
+    if len(values) < n:
+        raise ValidationError(
+            f"{checker}: needs at least {n} value(s), got {len(values)}"
+        )
+    for value in values:
+        if not math.isfinite(value):
+            raise ValidationError(f"{checker}: non-finite value {value!r}")
+
+
+def check_monotonic(
+    values: Sequence[float],
+    *,
+    increasing: bool = True,
+    step_tolerance: float = 0.0,
+    min_net_change: float = 0.0,
+) -> CheckOutcome:
+    """The series trends in one direction, modulo bounded noise.
+
+    A step against the trend is tolerated while it stays within
+    ``step_tolerance`` (relative to the step's starting value), and
+    the *net* move from first to last element must go the claimed way
+    by at least ``min_net_change`` (relative to the first element).
+    This is the shape the paper's "X rises/falls with CRF" claims
+    take: per-clip curves wiggle, the trend does not.
+    """
+    _require_values(values, "monotonic", 2)
+    sign = 1.0 if increasing else -1.0
+    worst_step = 0.0
+    for prev, curr in zip(values, values[1:]):
+        scale = abs(prev) or 1.0
+        backslide = sign * (prev - curr) / scale
+        worst_step = max(worst_step, backslide)
+    first, last = values[0], values[-1]
+    net = sign * (last - first) / (abs(first) or 1.0)
+    direction = "increase" if increasing else "decrease"
+    passed = worst_step <= step_tolerance and net >= min_net_change
+    return CheckOutcome(
+        passed=passed,
+        measured=round(net, 6),
+        expected=(
+            f"net {direction} >= {min_net_change:g} with counter-steps "
+            f"<= {step_tolerance:g}"
+        ),
+        detail={
+            "values": [round(v, 6) for v in values],
+            "net_change": round(net, 6),
+            "worst_counter_step": round(worst_step, 6),
+        },
+    )
+
+
+def check_flat(
+    values: Sequence[float],
+    *,
+    rel_tolerance: float,
+) -> CheckOutcome:
+    """The series stays within ``rel_tolerance`` of its mean.
+
+    Measured as ``(max - min) / mean`` — the paper's "IPC hovers
+    around 2" / "their sum stays roughly constant" shape.
+    """
+    _require_values(values, "flat", 1)
+    mean = sum(values) / len(values)
+    if mean == 0:
+        raise ValidationError("flat: series mean is zero")
+    spread = (max(values) - min(values)) / abs(mean)
+    return CheckOutcome(
+        passed=spread <= rel_tolerance,
+        measured=round(spread, 6),
+        expected=f"relative spread (max-min)/mean <= {rel_tolerance:g}",
+        detail={
+            "mean": round(mean, 6),
+            "min": round(min(values), 6),
+            "max": round(max(values), 6),
+        },
+    )
+
+
+def check_range(
+    values: Sequence[float],
+    *,
+    lo: float,
+    hi: float,
+) -> CheckOutcome:
+    """Every value lies inside ``[lo, hi]``."""
+    _require_values(values, "range", 1)
+    if lo > hi:
+        raise ValidationError(f"range: lo {lo} > hi {hi}")
+    outliers = [v for v in values if not lo <= v <= hi]
+    worst = max(
+        (max(lo - v, v - hi) for v in values), default=0.0
+    )
+    return CheckOutcome(
+        passed=not outliers,
+        measured=round(worst, 6),
+        expected=f"all values in [{lo:g}, {hi:g}]",
+        detail={
+            "outliers": [round(v, 6) for v in outliers],
+            "min": round(min(values), 6),
+            "max": round(max(values), 6),
+        },
+    )
+
+
+def check_ratio(
+    numerators: Sequence[float],
+    denominators: Sequence[float],
+    *,
+    min_ratio: float | None = None,
+    max_ratio: float | None = None,
+) -> CheckOutcome:
+    """The ratio of the two aggregates falls inside the given bounds.
+
+    Aggregation is by mean, so per-clip noise cancels — the shape of
+    "TAGE ≫ Gshare" (min bound) and "runtime collapses preset 0 → 8"
+    (the numerator is the slow end).
+    """
+    if min_ratio is None and max_ratio is None:
+        raise ValidationError("ratio: no bound given")
+    _require_values(numerators, "ratio", 1)
+    _require_values(denominators, "ratio", 1)
+    denom = sum(denominators) / len(denominators)
+    if denom == 0:
+        raise ValidationError("ratio: denominator mean is zero")
+    ratio = (sum(numerators) / len(numerators)) / denom
+    passed = True
+    bounds = []
+    if min_ratio is not None:
+        passed = passed and ratio >= min_ratio
+        bounds.append(f">= {min_ratio:g}")
+    if max_ratio is not None:
+        passed = passed and ratio <= max_ratio
+        bounds.append(f"<= {max_ratio:g}")
+    return CheckOutcome(
+        passed=passed,
+        measured=round(ratio, 6),
+        expected=f"mean ratio {' and '.join(bounds)}",
+        detail={
+            "numerator_mean": round(sum(numerators) / len(numerators), 6),
+            "denominator_mean": round(denom, 6),
+        },
+    )
+
+
+def check_ordering(
+    series: Sequence[Sequence[float]],
+    *,
+    labels: Sequence[str],
+    min_pass_fraction: float = 1.0,
+) -> CheckOutcome:
+    """Aligned series obey a strict elementwise ordering.
+
+    ``series[0][i] > series[1][i] > ...`` must hold at each position;
+    the check passes when the fraction of correctly ordered positions
+    reaches ``min_pass_fraction`` — the paper's "backend > frontend >
+    bad speculation for *nearly every* clip".
+    """
+    if len(series) < 2:
+        raise ValidationError("ordering: needs at least two series")
+    if len(labels) != len(series):
+        raise ValidationError("ordering: one label per series required")
+    length = len(series[0])
+    _require_values(series[0], "ordering", 1)
+    for s in series[1:]:
+        _require_values(s, "ordering", 1)
+        if len(s) != length:
+            raise ValidationError("ordering: series lengths differ")
+    violations = []
+    for pos in range(length):
+        column = [s[pos] for s in series]
+        if any(a <= b for a, b in zip(column, column[1:])):
+            violations.append(pos)
+    fraction = 1.0 - len(violations) / length
+    return CheckOutcome(
+        passed=fraction >= min_pass_fraction,
+        measured=round(fraction, 6),
+        expected=(
+            f"{' > '.join(labels)} at >= {min_pass_fraction:g} "
+            f"of grid points"
+        ),
+        detail={"positions": length, "violations": violations},
+    )
+
+
+def check_correlation(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    min_r: float,
+) -> CheckOutcome:
+    """Pearson correlation of the two series reaches ``min_r``.
+
+    The shape of "runtime tracks instruction count": the two curves
+    move together even while both swing by large factors.
+    """
+    _require_values(x, "correlation", 2)
+    _require_values(y, "correlation", 2)
+    if len(x) != len(y):
+        raise ValidationError("correlation: series lengths differ")
+    n = len(x)
+    mx = sum(x) / n
+    my = sum(y) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(x, y))
+    vx = sum((a - mx) ** 2 for a in x)
+    vy = sum((b - my) ** 2 for b in y)
+    if vx == 0 or vy == 0:
+        raise ValidationError("correlation: a series is constant")
+    r = cov / math.sqrt(vx * vy)
+    return CheckOutcome(
+        passed=r >= min_r,
+        measured=round(r, 6),
+        expected=f"Pearson r >= {min_r:g}",
+        detail={"n": n},
+    )
+
+
+#: Checker-name registry, for the report's ``checker`` field and the
+#: DESIGN.md claim table.
+CHECKERS = {
+    "monotonic": check_monotonic,
+    "flat": check_flat,
+    "range": check_range,
+    "ratio": check_ratio,
+    "ordering": check_ordering,
+    "correlation": check_correlation,
+}

@@ -1,0 +1,579 @@
+"""The paper's claims, declared as checkable predicates.
+
+Each :class:`Claim` binds one sentence of the paper to one checker
+from :mod:`repro.validate.checkers`, an extractor that pulls the
+relevant grid out of an :class:`~repro.core.report.ExperimentResult`,
+and the tolerances under which the reproduction is expected to hold.
+Tolerances are calibrated against the synthetic workload model (see
+DESIGN.md §9 for the claim → checker → tolerance table): loose enough
+that the fast-mode grid passes, tight enough that a regression in
+``uarch/`` or ``codecs/`` that bends a trend trips the gate.
+
+Evaluation is total: a claim whose data is missing (e.g. every cell of
+an experiment quarantined) yields a ``skip`` verdict rather than an
+exception, so one broken experiment cannot hide the verdicts of the
+others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.report import ExperimentResult
+from ..errors import ReproError, ValidationError
+from ..obs.context import current_obs
+from ..obs.span import trace_span
+from .checkers import (
+    CheckOutcome,
+    check_correlation,
+    check_flat,
+    check_monotonic,
+    check_ordering,
+    check_range,
+    check_ratio,
+)
+
+#: Bump when the claims-report JSON layout changes incompatibly.
+CLAIMS_SCHEMA_VERSION = 1
+
+GroupFn = Callable[[ExperimentResult], dict[str, CheckOutcome]]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim: where it comes from and how it is checked."""
+
+    claim_id: str
+    experiment_id: str
+    section: str            # paper section the sentence lives in
+    statement: str          # the claim, as one sentence
+    checker: str            # checker name (CHECKERS key), for the report
+    tolerance: dict[str, Any]
+    evaluate_groups: GroupFn
+    #: Fraction of groups (usually per-clip curves) that must pass;
+    #: "nearly every clip" claims sit below 1.
+    min_pass_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """One claim's evaluation over one experiment result."""
+
+    claim_id: str
+    experiment_id: str
+    section: str
+    statement: str
+    checker: str
+    tolerance: dict[str, Any]
+    status: str             # "pass" | "fail" | "skip"
+    pass_fraction: float
+    min_pass_fraction: float
+    groups: dict[str, CheckOutcome]
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "claim_id": self.claim_id,
+            "experiment_id": self.experiment_id,
+            "section": self.section,
+            "statement": self.statement,
+            "checker": self.checker,
+            "tolerance": self.tolerance,
+            "status": self.status,
+            "pass_fraction": round(self.pass_fraction, 6),
+            "min_pass_fraction": self.min_pass_fraction,
+            "groups": {
+                label: outcome.as_dict()
+                for label, outcome in self.groups.items()
+            },
+            "error": self.error,
+        }
+
+    def provenance_entry(self) -> dict[str, Any]:
+        """Compact form recorded into ``provenance["claims"]``."""
+        return {
+            "claim_id": self.claim_id,
+            "section": self.section,
+            "checker": self.checker,
+            "status": self.status,
+            "pass_fraction": round(self.pass_fraction, 6),
+            "measured": {
+                label: outcome.measured
+                for label, outcome in self.groups.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Extractor helpers
+
+
+def _series_groups(
+    result: ExperimentResult, prefix: str
+) -> dict[str, list[float]]:
+    """Per-clip y-vectors of every series named ``<prefix>:<clip>``."""
+    groups: dict[str, list[float]] = {}
+    for series in result.series:
+        head, _, tail = series.name.partition(":")
+        if head == prefix and tail:
+            groups[tail] = [float(v) for v in series.y]
+    if not groups:
+        raise ValidationError(
+            f"{result.experiment_id}: no series with prefix {prefix!r}"
+        )
+    return groups
+
+
+def _named_series(result: ExperimentResult, name: str) -> list[float]:
+    return [float(v) for v in result.get_series(name).y]
+
+
+def _table_groups(
+    result: ExperimentResult, title: str, column: str, by: str = "video"
+) -> dict[str, list[float]]:
+    """One table column, grouped by the ``by`` column (grid order)."""
+    table = result.table(title)
+    keys = table.column(by)
+    values = table.column(column)
+    groups: dict[str, list[float]] = {}
+    for key, value in zip(keys, values):
+        groups.setdefault(str(key), []).append(float(value))
+    if not groups:
+        raise ValidationError(
+            f"{result.experiment_id}: table {title!r} is empty"
+        )
+    return groups
+
+
+def _per_group(
+    groups: dict[str, list[float]],
+    check: Callable[[Sequence[float]], CheckOutcome],
+) -> dict[str, CheckOutcome]:
+    return {label: check(values) for label, values in groups.items()}
+
+
+# ----------------------------------------------------------------------
+# Claim extractors (one per claim, closed over their tolerances)
+
+
+def _ipc_near_2(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "ipc"),
+        lambda v: check_range(v, lo=1.6, hi=2.4),
+    )
+
+
+def _ipc_flat(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "ipc"),
+        lambda v: check_flat(v, rel_tolerance=0.10),
+    )
+
+
+def _runtime_tracks_instructions(
+    result: ExperimentResult,
+) -> dict[str, CheckOutcome]:
+    insts = _series_groups(result, "insts")
+    times = _series_groups(result, "time")
+    return {
+        video: check_correlation(insts[video], times[video], min_r=0.98)
+        for video in insts
+        if video in times
+    }
+
+
+_FIG5_TABLE = "Fig 5: top-down slot shares"
+
+
+def _topdown_ordering(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    backend = _table_groups(result, _FIG5_TABLE, "backend")
+    frontend = _table_groups(result, _FIG5_TABLE, "frontend")
+    bad_spec = _table_groups(result, _FIG5_TABLE, "bad_spec")
+    return {
+        video: check_ordering(
+            [backend[video], frontend[video], bad_spec[video]],
+            labels=("backend", "frontend", "bad_spec"),
+            min_pass_fraction=0.9,
+        )
+        for video in backend
+    }
+
+
+def _retiring_range(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _table_groups(result, _FIG5_TABLE, "retiring"),
+        lambda v: check_range(v, lo=0.4, hi=0.6),
+    )
+
+
+def _frontend_backend_sum_flat(
+    result: ExperimentResult,
+) -> dict[str, CheckOutcome]:
+    backend = _series_groups(result, "backend")
+    frontend = _series_groups(result, "frontend")
+    return {
+        video: check_flat(
+            [b + f for b, f in zip(backend[video], frontend[video])],
+            rel_tolerance=0.08,
+        )
+        for video in backend
+        if video in frontend
+    }
+
+
+def _backend_rises(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "backend"),
+        lambda v: check_monotonic(v, increasing=True, step_tolerance=0.03),
+    )
+
+
+def _l1d_rises(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "l1d_mpki"),
+        lambda v: check_monotonic(v, increasing=True, step_tolerance=0.12),
+    )
+
+
+def _l2_rises(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "l2_mpki"),
+        lambda v: check_monotonic(v, increasing=True, step_tolerance=0.12),
+    )
+
+
+def _llc_small(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    llc = _series_groups(result, "llc_mpki")
+    l1d = _series_groups(result, "l1d_mpki")
+    return {
+        video: check_ratio(llc[video], l1d[video], max_ratio=0.5)
+        for video in llc
+        if video in l1d
+    }
+
+
+def _branch_mpki_low(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "branch_mpki"),
+        lambda v: check_range(v, lo=0.0, hi=3.0),
+    )
+
+
+def _missrate_meaningful(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    groups = {
+        series.name: [float(v) for v in series.y] for series in result.series
+    }
+    if not groups:
+        raise ValidationError(f"{result.experiment_id}: no series")
+    return _per_group(
+        groups, lambda v: check_range(v, lo=0.5, hi=10.0)
+    )
+
+
+def _tage_beats_gshare(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    pairs = (
+        ("gshare-2KB", "tage-8KB"),
+        ("gshare-32KB", "tage-64KB"),
+    )
+    return {
+        f"{gshare} vs {tage}": check_ratio(
+            _named_series(result, gshare),
+            _named_series(result, tage),
+            min_ratio=1.2,
+        )
+        for gshare, tage in pairs
+    }
+
+
+def _preset_cliff(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    times = _named_series(result, "time")
+    if len(times) < 2:
+        raise ValidationError(
+            f"{result.experiment_id}: preset sweep has {len(times)} point(s)"
+        )
+    return {
+        "preset-min vs preset-max": check_ratio(
+            [times[0]], [times[-1]], min_ratio=50.0
+        )
+    }
+
+
+_FIG11_TABLE = "Fig 11c/d/e: top-down, MPKI, stalls vs preset"
+
+
+def _preset_topdown_flat(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    retiring = [
+        float(v) for v in result.table(_FIG11_TABLE).column("retiring")
+    ]
+    return {"retiring": check_flat(retiring, rel_tolerance=0.10)}
+
+
+# ----------------------------------------------------------------------
+# The registry, in the paper's narrative order.
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        claim_id="ipc-near-2",
+        experiment_id="fig04",
+        section="§4.2.1",
+        statement="IPC sits near 2 at every CRF operating point.",
+        checker="range",
+        tolerance={"lo": 1.6, "hi": 2.4},
+        evaluate_groups=_ipc_near_2,
+    ),
+    Claim(
+        claim_id="ipc-flat-across-crf",
+        experiment_id="fig04",
+        section="§4.2.1",
+        statement="IPC moves by at most ~10% across the CRF sweep.",
+        checker="flat",
+        tolerance={"rel_tolerance": 0.10},
+        evaluate_groups=_ipc_flat,
+    ),
+    Claim(
+        claim_id="runtime-tracks-instructions",
+        experiment_id="fig04",
+        section="§4.2.1",
+        statement="Execution time tracks instruction count as CRF varies.",
+        checker="correlation",
+        tolerance={"min_r": 0.98},
+        evaluate_groups=_runtime_tracks_instructions,
+    ),
+    Claim(
+        claim_id="topdown-ordering",
+        experiment_id="fig05",
+        section="§4.2.2",
+        statement=(
+            "Backend-bound exceeds frontend-bound exceeds bad-speculation "
+            "for nearly every clip."
+        ),
+        checker="ordering",
+        tolerance={"min_pass_fraction": 0.9},
+        evaluate_groups=_topdown_ordering,
+        min_pass_fraction=0.75,
+    ),
+    Claim(
+        claim_id="retiring-share-range",
+        experiment_id="fig05",
+        section="§4.2.2",
+        statement="The retiring share stays between 0.4 and 0.6.",
+        checker="range",
+        tolerance={"lo": 0.4, "hi": 0.6},
+        evaluate_groups=_retiring_range,
+        min_pass_fraction=0.75,
+    ),
+    Claim(
+        claim_id="frontend-backend-sum-flat",
+        experiment_id="fig05",
+        section="§4.2.2",
+        statement=(
+            "The frontend + backend share sum stays roughly constant "
+            "across CRF."
+        ),
+        checker="flat",
+        tolerance={"rel_tolerance": 0.08},
+        evaluate_groups=_frontend_backend_sum_flat,
+    ),
+    Claim(
+        claim_id="backend-rises-with-crf",
+        experiment_id="fig05",
+        section="§4.2.2",
+        statement="The backend-bound share rises with CRF.",
+        checker="monotonic",
+        tolerance={"increasing": True, "step_tolerance": 0.03},
+        evaluate_groups=_backend_rises,
+        min_pass_fraction=0.6,
+    ),
+    Claim(
+        claim_id="l1d-mpki-rises-with-crf",
+        experiment_id="fig06",
+        section="§4.3",
+        statement="L1D MPKI rises as CRF increases.",
+        checker="monotonic",
+        tolerance={"increasing": True, "step_tolerance": 0.12},
+        evaluate_groups=_l1d_rises,
+        min_pass_fraction=0.6,
+    ),
+    Claim(
+        claim_id="l2-mpki-rises-with-crf",
+        experiment_id="fig06",
+        section="§4.3",
+        statement="L2 MPKI rises as CRF increases.",
+        checker="monotonic",
+        tolerance={"increasing": True, "step_tolerance": 0.12},
+        evaluate_groups=_l2_rises,
+        min_pass_fraction=0.6,
+    ),
+    Claim(
+        claim_id="llc-mpki-far-smaller",
+        experiment_id="fig06",
+        section="§4.3",
+        statement="LLC MPKI stays far below L1D MPKI.",
+        checker="ratio",
+        tolerance={"max_ratio": 0.5},
+        evaluate_groups=_llc_small,
+    ),
+    Claim(
+        claim_id="branch-mpki-low",
+        experiment_id="fig06",
+        section="§4.3",
+        statement="Branch MPKI stays low (order 1) across the sweep.",
+        checker="range",
+        tolerance={"lo": 0.0, "hi": 3.0},
+        evaluate_groups=_branch_mpki_low,
+    ),
+    Claim(
+        claim_id="branch-missrate-meaningful",
+        experiment_id="fig07",
+        section="§4.4",
+        statement=(
+            "Despite low MPKI, the per-branch miss rate is meaningful "
+            "(a few percent)."
+        ),
+        checker="range",
+        tolerance={"lo": 0.5, "hi": 10.0},
+        evaluate_groups=_missrate_meaningful,
+    ),
+    Claim(
+        claim_id="tage-beats-gshare",
+        experiment_id="fig08",
+        section="§4.4",
+        statement=(
+            "TAGE clearly out-predicts Gshare on encoder branch traces "
+            "in both size classes."
+        ),
+        checker="ratio",
+        tolerance={"min_ratio": 1.2},
+        evaluate_groups=_tage_beats_gshare,
+    ),
+    Claim(
+        claim_id="preset-runtime-cliff",
+        experiment_id="fig11",
+        section="§4.5",
+        statement=(
+            "Runtime collapses by orders of magnitude from the slowest "
+            "to the fastest preset."
+        ),
+        checker="ratio",
+        tolerance={"min_ratio": 50.0},
+        evaluate_groups=_preset_cliff,
+    ),
+    Claim(
+        claim_id="preset-topdown-flat",
+        experiment_id="fig11",
+        section="§4.5",
+        statement="The retiring share shows no strong preset trend.",
+        checker="flat",
+        tolerance={"rel_tolerance": 0.10},
+        evaluate_groups=_preset_topdown_flat,
+    ),
+)
+
+
+def claim_ids() -> list[str]:
+    """Every registered claim id, in report order."""
+    return [claim.claim_id for claim in CLAIMS]
+
+
+def claim_experiments() -> list[str]:
+    """Experiment ids with registered claims, first-use order."""
+    seen: list[str] = []
+    for claim in CLAIMS:
+        if claim.experiment_id not in seen:
+            seen.append(claim.experiment_id)
+    return seen
+
+
+def claims_for(experiment_id: str) -> list[Claim]:
+    """Claims evaluated over one experiment's result."""
+    return [c for c in CLAIMS if c.experiment_id == experiment_id]
+
+
+def evaluate_claim(claim: Claim, result: ExperimentResult) -> ClaimVerdict:
+    """Evaluate one claim over one result, never raising on data gaps.
+
+    Missing series/tables (e.g. after quarantine drops) produce a
+    ``skip`` verdict; checker-level structural errors do too.  Only a
+    result from the wrong experiment is a caller bug and raises.
+    """
+    if result.experiment_id != claim.experiment_id:
+        raise ValidationError(
+            f"claim {claim.claim_id!r} targets {claim.experiment_id!r}, "
+            f"got a {result.experiment_id!r} result"
+        )
+    with trace_span(
+        "claim", claim=claim.claim_id, experiment=claim.experiment_id
+    ):
+        try:
+            groups = claim.evaluate_groups(result)
+        except ReproError as exc:
+            return ClaimVerdict(
+                claim_id=claim.claim_id,
+                experiment_id=claim.experiment_id,
+                section=claim.section,
+                statement=claim.statement,
+                checker=claim.checker,
+                tolerance=claim.tolerance,
+                status="skip",
+                pass_fraction=0.0,
+                min_pass_fraction=claim.min_pass_fraction,
+                groups={},
+                error=str(exc),
+            )
+        if not groups:
+            return ClaimVerdict(
+                claim_id=claim.claim_id,
+                experiment_id=claim.experiment_id,
+                section=claim.section,
+                statement=claim.statement,
+                checker=claim.checker,
+                tolerance=claim.tolerance,
+                status="skip",
+                pass_fraction=0.0,
+                min_pass_fraction=claim.min_pass_fraction,
+                groups={},
+                error="no groups extracted",
+            )
+        fraction = sum(o.passed for o in groups.values()) / len(groups)
+        status = "pass" if fraction >= claim.min_pass_fraction else "fail"
+        return ClaimVerdict(
+            claim_id=claim.claim_id,
+            experiment_id=claim.experiment_id,
+            section=claim.section,
+            statement=claim.statement,
+            checker=claim.checker,
+            tolerance=claim.tolerance,
+            status=status,
+            pass_fraction=fraction,
+            min_pass_fraction=claim.min_pass_fraction,
+            groups=groups,
+        )
+
+
+def evaluate_result_claims(
+    result: ExperimentResult, claims: Sequence[Claim] | None = None
+) -> list[ClaimVerdict]:
+    """Evaluate (by default all) claims registered for a result.
+
+    Verdicts are recorded into ``result.provenance["claims"]`` in
+    compact form and counted in the active metrics registry
+    (``claims.pass`` / ``claims.fail`` / ``claims.skip``), so a
+    validated run's artifact carries its own regression evidence.
+    """
+    if claims is None:
+        claims = claims_for(result.experiment_id)
+    verdicts = [evaluate_claim(claim, result) for claim in claims]
+    obs = current_obs()
+    if obs is not None:
+        for verdict in verdicts:
+            obs.metrics.counter(f"claims.{verdict.status}").inc()
+    if verdicts:
+        result.provenance["claims"] = [
+            v.provenance_entry() for v in verdicts
+        ]
+    return verdicts

@@ -1,5 +1,7 @@
 """Tests for intra prediction and motion estimation."""
 
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -64,7 +66,9 @@ class TestPredict:
 
     @pytest.mark.parametrize("mode", list(IntraMode))
     def test_all_modes_produce_valid_samples(self, mode):
-        rng = np.random.default_rng(hash(mode.value) % 2**31)
+        # crc32, not hash(): str hashes vary with PYTHONHASHSEED, so
+        # the test data would differ from run to run.
+        rng = np.random.default_rng(zlib.crc32(mode.value.encode()))
         above = rng.integers(0, 256, 32).astype(np.float64)
         left = rng.integers(0, 256, 32).astype(np.float64)
         pred = predict(mode, above, left, 16, 16)

@@ -1,5 +1,7 @@
 """Tests for transforms, quantisation and their round-trip invariants."""
 
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -66,7 +68,9 @@ class TestRoundTrip:
 
     @pytest.mark.parametrize("tx_type", TX_TYPES)
     def test_typed_tx_invertible(self, tx_type):
-        rng = np.random.default_rng(hash(tx_type) % 2**31)
+        # crc32, not hash(): str hashes vary with PYTHONHASHSEED, so
+        # the test data would differ from run to run.
+        rng = np.random.default_rng(zlib.crc32(tx_type.encode()))
         tiles = rng.normal(0, 50, (5, 8, 8))
         back = inverse_tx_batch(forward_tx_batch(tiles, tx_type), tx_type)
         assert np.allclose(back, tiles, atol=1e-8)

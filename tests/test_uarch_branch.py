@@ -103,6 +103,70 @@ class TestStorageBudgets:
         assert 48.0 < tage_64kb().storage_kib < 68.0
 
 
+class TestTageWarmupFolds:
+    """TAGE's incremental folds vs a from-scratch reference fold.
+
+    The folded-history registers are only correct during warm-up if
+    the bit leaving each history window is taken as 0 while fewer
+    than ``length`` outcomes exist (zero-fill); indexing the raw
+    history deque unguarded would wrap to recent outcomes instead.
+    """
+
+    def _assert_folds_match(self, predictor, outcomes):
+        from repro.validate import reference_fold
+
+        for table in predictor.fold_snapshot():
+            length = table["history_length"]
+            for kind in ("index", "tag0", "tag1"):
+                expect = reference_fold(
+                    outcomes, length, table[f"{kind}_width"]
+                )
+                assert table[f"{kind}_fold"] == expect, (
+                    f"{kind} fold for length {length} diverged after "
+                    f"{len(outcomes)} branches"
+                )
+
+    def test_folds_match_reference_through_warmup(self):
+        # 600 branches exceed the longest tage_8kb history window, so
+        # this covers warm-up, the wrap boundary and steady state.
+        rng = np.random.default_rng(20230911)
+        predictor = tage_8kb()
+        outcomes = []
+        for pc, taken in zip(
+            (rng.integers(0, 1 << 16, size=600) << 2).tolist(),
+            (rng.uniform(size=600) < 0.7).tolist(),
+        ):
+            predictor.predict(int(pc))
+            predictor.update(int(pc), bool(taken))
+            outcomes.append(int(taken))
+            self._assert_folds_match(predictor, outcomes)
+
+    def test_history_snapshot_tracks_outcomes(self):
+        predictor = tage_8kb()
+        fed = [1, 0, 1, 1, 0]
+        for at, taken in enumerate(fed):
+            predictor.predict(0x4000 + 4 * at)
+            predictor.update(0x4000 + 4 * at, bool(taken))
+        history = predictor.history_snapshot()
+        assert list(history[-len(fed):]) == fed
+
+    def test_replay_is_deterministic(self):
+        rng = np.random.default_rng(7)
+        stream = [
+            (int(pc) << 2, bool(t))
+            for pc, t in zip(
+                rng.integers(0, 1 << 14, size=300).tolist(),
+                (rng.uniform(size=300) < 0.6).tolist(),
+            )
+        ]
+        first, second = tage_8kb(), tage_8kb()
+        for pc, taken in stream:
+            assert first.predict(pc) == second.predict(pc)
+            first.update(pc, taken)
+            second.update(pc, taken)
+        assert first.fold_snapshot() == second.fold_snapshot()
+
+
 class TestPaperOrdering:
     """§4.4: TAGE beats Gshare; bigger beats smaller — evaluated on a
     real branch trace captured from an SVT-AV1 encode, exactly as the

@@ -55,6 +55,68 @@ class TestTopDown:
         ]
 
 
+class TestTopDownDecomposition:
+    def test_consistent_decomposition_accepted(self):
+        td = TopDown(
+            retiring=0.5, bad_speculation=0.05, frontend=0.15, backend=0.3,
+            backend_memory=0.22, backend_core=0.08,
+            frontend_latency=0.10, frontend_bandwidth=0.05,
+        )
+        assert td.backend_memory + td.backend_core == pytest.approx(
+            td.backend
+        )
+
+    def test_undeclared_decomposition_accepted(self):
+        # All-zero children mean "not decomposed" — the default most
+        # constructors use.
+        TopDown(retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                backend=0.3)
+
+    def test_backend_decomposition_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="backend decomposition"):
+            TopDown(
+                retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                backend=0.3, backend_memory=0.22, backend_core=0.18,
+            )
+
+    def test_frontend_decomposition_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="frontend decomposition"):
+            TopDown(
+                retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                backend=0.3, frontend_latency=0.15,
+                frontend_bandwidth=0.05,
+            )
+
+    def test_partial_decomposition_must_still_sum(self):
+        # One non-zero child counts as "decomposed" and must re-sum.
+        with pytest.raises(SimulationError, match="backend decomposition"):
+            TopDown(
+                retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                backend=0.3, backend_memory=0.1,
+            )
+
+    def test_float_error_within_tolerance_accepted(self):
+        TopDown(
+            retiring=0.5, bad_speculation=0.05, frontend=0.15, backend=0.3,
+            backend_memory=0.22 + 5e-7, backend_core=0.08,
+        )
+
+    def test_out_of_range_child_rejected(self):
+        with pytest.raises(SimulationError, match="outside"):
+            TopDown(
+                retiring=0.5, bad_speculation=0.05, frontend=0.15,
+                backend=0.3, backend_memory=-0.1, backend_core=0.4,
+            )
+
+    def test_classify_slots_decomposition_consistent(self):
+        td = classify_slots(0.5, 0.05, 0.15, 0.25, 0.05,
+                            frontend_latency_share=0.6)
+        assert td.frontend_latency + td.frontend_bandwidth == (
+            pytest.approx(td.frontend)
+        )
+        assert td.frontend_latency == pytest.approx(td.frontend * 0.6)
+
+
 class TestCoreModel:
     def test_ipc_near_two_for_encoder_mix(self):
         """The paper pins encoder IPC at ~2 on the 4-wide Xeon."""

@@ -1,0 +1,203 @@
+"""Tests for the primitive claim checkers on synthetic grids."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    CHECKERS,
+    check_correlation,
+    check_flat,
+    check_monotonic,
+    check_ordering,
+    check_range,
+    check_ratio,
+)
+
+
+class TestMonotonic:
+    def test_clean_increase_passes(self):
+        outcome = check_monotonic([1.0, 2.0, 3.0, 4.0])
+        assert outcome.passed
+        assert outcome.measured == pytest.approx(3.0)
+
+    def test_inverted_series_fails(self):
+        assert not check_monotonic([4.0, 3.0, 2.0, 1.0]).passed
+
+    def test_decreasing_direction(self):
+        assert check_monotonic([4.0, 3.0, 1.0], increasing=False).passed
+        assert not check_monotonic([1.0, 3.0, 4.0], increasing=False).passed
+
+    def test_noise_within_step_tolerance_passes(self):
+        # One ~5% backslide on an otherwise rising series.
+        values = [1.0, 1.2, 1.14, 1.5]
+        assert not check_monotonic(values).passed
+        assert check_monotonic(values, step_tolerance=0.06).passed
+
+    def test_noise_at_tolerance_boundary(self):
+        # Backslide is exactly 10% of the preceding value: <= passes,
+        # anything tighter fails.
+        values = [1.0, 2.0, 1.8, 2.5]
+        assert check_monotonic(values, step_tolerance=0.10).passed
+        assert not check_monotonic(values, step_tolerance=0.0999).passed
+
+    def test_min_net_change_gate(self):
+        values = [1.0, 1.01]
+        assert check_monotonic(values, min_net_change=0.005).passed
+        assert not check_monotonic(values, min_net_change=0.05).passed
+
+    def test_detail_reports_worst_step(self):
+        outcome = check_monotonic([1.0, 0.5, 2.0])
+        assert outcome.detail["worst_counter_step"] == pytest.approx(0.5)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValidationError):
+            check_monotonic([1.0])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValidationError):
+            check_monotonic([1.0, float("nan"), 2.0])
+
+
+class TestFlat:
+    def test_flat_series_passes(self):
+        outcome = check_flat([2.0, 2.02, 1.98], rel_tolerance=0.05)
+        assert outcome.passed
+        assert outcome.measured == pytest.approx(0.04 / 2.0)
+
+    def test_sloped_series_fails(self):
+        assert not check_flat([1.0, 2.0, 3.0], rel_tolerance=0.10).passed
+
+    def test_spread_at_tolerance_boundary(self):
+        # Spread is 12.5% of the mean (exact in binary floats).
+        values = [1.875, 2.0, 2.125]
+        assert check_flat(values, rel_tolerance=0.125).passed
+        assert not check_flat(values, rel_tolerance=0.124).passed
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValidationError):
+            check_flat([-1.0, 1.0], rel_tolerance=0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            check_flat([], rel_tolerance=0.1)
+
+
+class TestRange:
+    def test_inside_passes(self):
+        assert check_range([1.7, 2.0, 2.3], lo=1.6, hi=2.4).passed
+
+    def test_outlier_fails_and_is_reported(self):
+        outcome = check_range([1.7, 2.5], lo=1.6, hi=2.4)
+        assert not outcome.passed
+        assert outcome.detail["outliers"] == [2.5]
+        assert outcome.measured == pytest.approx(0.1)
+
+    def test_boundary_values_pass(self):
+        assert check_range([1.6, 2.4], lo=1.6, hi=2.4).passed
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValidationError):
+            check_range([1.0], lo=2.0, hi=1.0)
+
+
+class TestRatio:
+    def test_min_bound(self):
+        assert check_ratio([4.0, 6.0], [2.0, 3.0], min_ratio=1.5).passed
+        assert not check_ratio([2.0], [2.0], min_ratio=1.5).passed
+
+    def test_max_bound(self):
+        assert check_ratio([1.0], [10.0], max_ratio=0.5).passed
+        assert not check_ratio([8.0], [10.0], max_ratio=0.5).passed
+
+    def test_both_bounds(self):
+        outcome = check_ratio([3.0], [2.0], min_ratio=1.0, max_ratio=2.0)
+        assert outcome.passed
+        assert outcome.measured == pytest.approx(1.5)
+
+    def test_no_bound_raises(self):
+        with pytest.raises(ValidationError):
+            check_ratio([1.0], [1.0])
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ValidationError):
+            check_ratio([1.0], [0.0], min_ratio=1.0)
+
+
+class TestOrdering:
+    def test_strict_ordering_passes(self):
+        outcome = check_ordering(
+            [[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]],
+            labels=("a", "b", "c"),
+        )
+        assert outcome.passed
+        assert outcome.measured == pytest.approx(1.0)
+
+    def test_violation_position_reported(self):
+        outcome = check_ordering(
+            [[3.0, 1.0], [2.0, 2.0]], labels=("a", "b")
+        )
+        assert not outcome.passed
+        assert outcome.detail["violations"] == [1]
+
+    def test_min_pass_fraction_tolerates_some_positions(self):
+        series = [[3.0, 1.0, 3.0, 3.0], [2.0, 2.0, 2.0, 2.0]]
+        outcome = check_ordering(
+            series, labels=("a", "b"), min_pass_fraction=0.75
+        )
+        assert outcome.passed
+
+    def test_ties_violate(self):
+        assert not check_ordering(
+            [[2.0], [2.0]], labels=("a", "b")
+        ).passed
+
+    def test_single_series_raises(self):
+        with pytest.raises(ValidationError):
+            check_ordering([[1.0]], labels=("a",))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            check_ordering([[1.0, 2.0], [1.0]], labels=("a", "b"))
+
+
+class TestCorrelation:
+    def test_proportional_series_correlate(self):
+        outcome = check_correlation(
+            [1.0, 2.0, 3.0], [10.0, 20.0, 30.0], min_r=0.99
+        )
+        assert outcome.passed
+        assert outcome.measured == pytest.approx(1.0)
+
+    def test_anticorrelated_fails(self):
+        assert not check_correlation(
+            [1.0, 2.0, 3.0], [3.0, 2.0, 1.0], min_r=0.0
+        ).passed
+
+    def test_noisy_series_below_threshold(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.0, 3.5, 2.0, 4.5]
+        outcome = check_correlation(x, y, min_r=0.99)
+        assert not outcome.passed
+        assert outcome.measured < 0.99
+
+    def test_constant_series_raises(self):
+        with pytest.raises(ValidationError):
+            check_correlation([1.0, 1.0], [1.0, 2.0], min_r=0.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            check_correlation([1.0, 2.0], [1.0], min_r=0.5)
+
+
+class TestRegistryAndOutcome:
+    def test_registry_names_every_checker(self):
+        assert set(CHECKERS) == {
+            "monotonic", "flat", "range", "ratio", "ordering",
+            "correlation",
+        }
+
+    def test_outcome_round_trips_to_dict(self):
+        outcome = check_flat([2.0, 2.0], rel_tolerance=0.1)
+        as_dict = outcome.as_dict()
+        assert as_dict["passed"] is True
+        assert set(as_dict) == {"passed", "measured", "expected", "detail"}

@@ -1,0 +1,181 @@
+"""Tests for the declarative claim registry on synthetic results."""
+
+import pytest
+
+from repro.core.report import ExperimentResult, Series, Table
+from repro.errors import ValidationError
+from repro.obs import ObsContext, activate_obs
+from repro.validate import (
+    CLAIMS,
+    claim_experiments,
+    claim_ids,
+    claims_for,
+    evaluate_claim,
+    evaluate_result_claims,
+)
+
+CRFS = (10.0, 35.0, 60.0)
+VIDEOS = ("desktop", "game1")
+
+
+def _claim(claim_id):
+    return next(c for c in CLAIMS if c.claim_id == claim_id)
+
+
+def _fig04(ipc_by_video=None):
+    """A synthetic fig04 grid: flat IPC ~2, time tracking insts."""
+    series = []
+    for video in VIDEOS:
+        ipc = (
+            ipc_by_video[video]
+            if ipc_by_video is not None
+            else (2.0, 2.05, 1.98)
+        )
+        insts = (9.0e9, 3.0e9, 1.0e9)
+        series.append(Series(f"ipc:{video}", CRFS, tuple(ipc)))
+        series.append(Series(f"insts:{video}", CRFS, insts))
+        series.append(Series(
+            f"time:{video}", CRFS,
+            tuple(n / (i * 3.0e9) for n, i in zip(insts, ipc)),
+        ))
+    return ExperimentResult("fig04", "CRF sweep", series=series)
+
+
+def _fig05():
+    """A synthetic fig05 grid obeying every §4.2.2 claim."""
+    rows = []
+    series = []
+    for video in VIDEOS:
+        backend = [0.30, 0.31, 0.33]
+        frontend = [0.12, 0.11, 0.10]
+        for crf, be, fe in zip(CRFS, backend, frontend):
+            rows.append((video, crf, 0.52, 0.04, fe, be))
+        series.append(Series(f"backend:{video}", CRFS, tuple(backend)))
+        series.append(Series(f"frontend:{video}", CRFS, tuple(frontend)))
+    table = Table(
+        "Fig 5: top-down slot shares",
+        ("video", "crf", "retiring", "bad_spec", "frontend", "backend"),
+        tuple(rows),
+    )
+    return ExperimentResult(
+        "fig05", "Top-down", tables=[table], series=series
+    )
+
+
+class TestRegistry:
+    def test_at_least_six_distinct_claims(self):
+        # The acceptance bar: >= 6 distinct claims across experiments.
+        assert len(set(claim_ids())) >= 6
+        assert len(claim_ids()) == len(set(claim_ids()))
+
+    def test_experiments_cover_the_paper_sections(self):
+        assert set(claim_experiments()) == {
+            "fig04", "fig05", "fig06", "fig07", "fig08", "fig11"
+        }
+
+    def test_claims_for_partitions_the_registry(self):
+        total = sum(len(claims_for(e)) for e in claim_experiments())
+        assert total == len(CLAIMS)
+
+    def test_every_claim_names_checker_and_section(self):
+        for claim in CLAIMS:
+            assert claim.section.startswith("§")
+            assert claim.checker in {
+                "monotonic", "flat", "range", "ratio", "ordering",
+                "correlation",
+            }
+
+
+class TestEvaluateClaim:
+    def test_passing_grid_passes(self):
+        verdict = evaluate_claim(_claim("ipc-near-2"), _fig04())
+        assert verdict.status == "pass"
+        assert verdict.pass_fraction == 1.0
+        assert set(verdict.groups) == set(VIDEOS)
+
+    def test_failing_grid_fails_with_measured_values(self):
+        bad = _fig04(ipc_by_video={
+            "desktop": (2.0, 2.05, 1.98),
+            "game1": (0.9, 0.95, 0.92),   # far below the claimed band
+        })
+        verdict = evaluate_claim(_claim("ipc-near-2"), bad)
+        assert verdict.status == "fail"
+        assert not verdict.groups["game1"].passed
+        assert verdict.groups["desktop"].passed
+
+    def test_inverted_trend_fails_monotonic_claim(self):
+        base = _fig05()
+        inverted = ExperimentResult(
+            "fig05", "Top-down",
+            tables=base.tables,
+            series=[
+                Series(s.name, s.x, tuple(reversed(s.y)))
+                if s.name.startswith("backend:") else s
+                for s in base.series
+            ],
+        )
+        verdict = evaluate_claim(_claim("backend-rises-with-crf"), inverted)
+        assert verdict.status == "fail"
+
+    def test_missing_data_skips_not_raises(self):
+        empty = ExperimentResult("fig04", "CRF sweep")
+        verdict = evaluate_claim(_claim("ipc-near-2"), empty)
+        assert verdict.status == "skip"
+        assert "ipc" in verdict.error
+
+    def test_wrong_experiment_raises(self):
+        with pytest.raises(ValidationError):
+            evaluate_claim(_claim("ipc-near-2"), _fig05())
+
+    def test_fig05_claims_all_pass_on_synthetic_grid(self):
+        result = _fig05()
+        for claim in claims_for("fig05"):
+            assert evaluate_claim(claim, result).status == "pass", (
+                claim.claim_id
+            )
+
+    def test_min_pass_fraction_tolerates_minority_groups(self):
+        claim = _claim("backend-rises-with-crf")
+        assert claim.min_pass_fraction < 1.0
+        mixed = ExperimentResult(
+            "fig05", "Top-down",
+            series=[
+                Series("backend:a", CRFS, (0.30, 0.31, 0.33)),
+                Series("backend:b", CRFS, (0.30, 0.32, 0.34)),
+                Series("backend:c", CRFS, (0.35, 0.30, 0.28)),  # inverted
+            ],
+        )
+        verdict = evaluate_claim(claim, mixed)
+        assert verdict.status == "pass"
+        assert verdict.pass_fraction == pytest.approx(2 / 3)
+
+
+class TestEvaluateResultClaims:
+    def test_verdicts_recorded_in_provenance(self):
+        result = _fig04()
+        verdicts = evaluate_result_claims(result)
+        assert len(verdicts) == len(claims_for("fig04"))
+        recorded = result.provenance["claims"]
+        assert [e["claim_id"] for e in recorded] == [
+            v.claim_id for v in verdicts
+        ]
+        for entry in recorded:
+            assert entry["status"] in {"pass", "fail", "skip"}
+            assert "measured" in entry
+
+    def test_counters_incremented_in_active_obs(self):
+        obs = ObsContext()
+        with activate_obs(obs):
+            evaluate_result_claims(_fig04())
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("claims.pass", 0) == len(claims_for("fig04"))
+        summary = obs.telemetry_summary()
+        assert summary["claims"]["pass"] == len(claims_for("fig04"))
+        assert summary["claims"]["fail"] == 0
+
+    def test_verdict_json_round_trip(self):
+        verdict = evaluate_result_claims(_fig04())[0]
+        as_dict = verdict.as_dict()
+        assert as_dict["claim_id"] == verdict.claim_id
+        assert as_dict["status"] == "pass"
+        assert as_dict["groups"]

@@ -1,0 +1,58 @@
+"""End-to-end validation over real (fast-mode) experiment grids.
+
+Exercises the whole stack: run fig04/fig05 through the engine with a
+result cache attached, check every registered claim holds on the
+synthetic workload model, then validate again warm and require both
+cache hits and identical verdicts.
+"""
+
+import json
+import os
+
+os.environ.setdefault("REPRO_FAST", "1")
+
+import pytest
+
+from repro.obs import ObsContext
+from repro.validate import claims_for, validate
+
+pytestmark = pytest.mark.slow
+
+
+class TestValidateEndToEnd:
+    def test_fig04_fig05_cached_validation(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        cold_obs = ObsContext()
+        cold = validate(
+            ["fig04", "fig05"],
+            cache_dir=cache_dir,
+            invariant_cases=2,
+            obs=cold_obs,
+        )
+        assert cold.passed(strict=True), cold.format_text()
+        expected_ids = [
+            c.claim_id for c in claims_for("fig04") + claims_for("fig05")
+        ]
+        assert [v.claim_id for v in cold.claims] == expected_ids
+        assert all(o.passed for o in cold.invariants)
+
+        warm_obs = ObsContext()
+        warm = validate(
+            ["fig04", "fig05"],
+            cache_dir=cache_dir,
+            with_invariants=False,
+            obs=warm_obs,
+        )
+        assert warm.passed(strict=True), warm.format_text()
+        counters = warm_obs.metrics.snapshot()["counters"]
+        assert counters.get("cache.hits", 0) > 0
+
+        cold_statuses = {v.claim_id: v.status for v in cold.claims}
+        warm_statuses = {v.claim_id: v.status for v in warm.claims}
+        assert warm_statuses == cold_statuses
+
+        payload = json.loads(warm.to_json())
+        assert payload["summary"]["failed"] == 0
+        assert payload["summary"]["skipped"] == 0
+        assert set(payload["experiments"]) == {"fig04", "fig05"}

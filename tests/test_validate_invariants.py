@@ -1,0 +1,93 @@
+"""Tests for the seeded randomized invariant harness."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import ObsContext, activate_obs
+from repro.validate import (
+    INVARIANTS,
+    reference_fold,
+    run_invariant,
+    run_invariants,
+)
+
+
+class TestHarness:
+    def test_every_registered_invariant_holds(self):
+        outcomes = run_invariants(seed=123, cases=5)
+        assert [o.name for o in outcomes] == list(INVARIANTS)
+        for outcome in outcomes:
+            assert outcome.passed, outcome.failures
+            assert outcome.cases == 5
+            assert outcome.seed == 123
+
+    def test_same_seed_is_deterministic(self):
+        first = run_invariant("cache-level-cascade", seed=7, cases=4)
+        second = run_invariant("cache-level-cascade", seed=7, cases=4)
+        assert first == second
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ValidationError):
+            run_invariant("no-such-invariant")
+
+    def test_zero_cases_rejected(self):
+        with pytest.raises(ValidationError):
+            run_invariant("cache-level-cascade", cases=0)
+
+    def test_failures_are_capped_and_counted(self, monkeypatch):
+        def always_broken(rng, case):
+            return [f"case {case}: injected failure"]
+
+        monkeypatch.setitem(
+            INVARIANTS, "always-broken", ("injected", always_broken)
+        )
+        obs = ObsContext()
+        with activate_obs(obs):
+            outcome = run_invariant("always-broken", seed=1, cases=30)
+        assert not outcome.passed
+        assert len(outcome.failures) == 10  # capped for the report
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("invariants.fail") == 1
+
+    def test_pass_counter_incremented(self):
+        obs = ObsContext()
+        with activate_obs(obs):
+            run_invariant("topdown-decomposition", seed=2, cases=3)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("invariants.pass") == 1
+
+    def test_outcome_serializes(self):
+        outcome = run_invariant("cache-batch-scalar-parity", seed=3, cases=2)
+        as_dict = outcome.as_dict()
+        assert as_dict["name"] == "cache-batch-scalar-parity"
+        assert as_dict["passed"] is True
+        assert as_dict["failures"] == []
+
+
+class TestReferenceFold:
+    def test_zero_width_folds_to_zero(self):
+        assert reference_fold([1, 0, 1], 3, 0) == 0
+
+    def test_empty_history_zero_pads(self):
+        # An all-zero window folds to zero regardless of length.
+        assert reference_fold([], 8, 4) == 0
+        assert reference_fold([0, 0, 0], 8, 4) == 0
+
+    def test_short_history_matches_explicit_padding(self):
+        history = [1, 0, 1]
+        padded = [0] * 5 + history
+        assert reference_fold(history, 8, 4) == reference_fold(padded, 8, 4)
+
+    def test_window_is_the_last_length_outcomes(self):
+        history = [1, 1, 1, 0, 1, 0]
+        assert reference_fold(history, 3, 4) == reference_fold(
+            history[-3:], 3, 4
+        )
+
+    def test_known_small_fold(self):
+        # length <= width degenerates to the window read as binary.
+        assert reference_fold([1, 0, 1], 3, 4) == 0b101
+
+    def test_fold_stays_within_width(self):
+        value = reference_fold([1] * 64, 64, 5)
+        assert 0 <= value < (1 << 5)
