@@ -1,0 +1,118 @@
+"""Benchmark: the vectorized kernel layer against its scalar reference.
+
+Times the two in-cell hot paths the kernel layer vectorizes:
+
+- **replay** — ``run_championship`` over the paper's four predictors
+  on a captured branch trace (the Figs. 8-10 evaluation loop);
+- **cell** — one cold fig04 cell (``characterize`` of svt-av1 on
+  game1 at CRF 30, preset 4) end to end: instrumented encode plus the
+  cache/branch/top-down measurement pass.
+
+Each path runs scalar and vectorized interleaved for ``ROUNDS``
+rounds and scores the best-of-rounds ratio, which keeps the
+measurement robust to background load.  Bit-parity is asserted on the
+full result objects, not just the timings.  Timings are written to
+``BENCH_kernels.json`` at the repo root (fields documented in the
+README's "Kernel performance" section) *before* the speedup floors
+are asserted, so a regression still leaves the artifact behind; the
+floors are the gate CI enforces.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from repro import kernels
+from repro.cbp.harness import run_championship
+from repro.cbp.traces import capture_trace
+from repro.core.characterize import characterize
+from repro.video import vbench
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_kernels.json")
+
+#: Regression floors (acceptance criteria of the kernel-layer PR).
+REPLAY_SPEEDUP_FLOOR = 3.0
+CELL_SPEEDUP_FLOOR = 1.5
+
+#: Interleaved scalar/vectorized rounds; best-of is scored.
+ROUNDS = 2
+
+#: The cold cell measured: a fig04 grid point at the paper's preset.
+CELL = {"encoder": "svt-av1", "video": "game1", "crf": 30, "preset": 4}
+
+
+def _interleaved_best(func):
+    """Best-of-ROUNDS seconds per kernel mode, plus every result."""
+    seconds = {"scalar": [], "vectorized": []}
+    results = []
+    for _ in range(ROUNDS):
+        for mode, scope in (("vectorized", kernels.vectorized_kernels),
+                            ("scalar", kernels.scalar_kernels)):
+            with scope():
+                start = time.perf_counter()
+                result = func()
+                seconds[mode].append(time.perf_counter() - start)
+            results.append(result)
+    return min(seconds["scalar"]), min(seconds["vectorized"]), results
+
+
+def test_kernel_speedups():
+    video = vbench.load("game1")
+    # Fig. 10's capture configuration (preset 4, CRF 60), which fills
+    # the full 60k-event window on this clip.
+    trace = capture_trace(video, crf=60, preset=4)
+
+    replay_scalar, replay_vec, champs = _interleaved_best(
+        lambda: run_championship([trace])
+    )
+    replay_parity = all(c.results == champs[0].results for c in champs[1:])
+    replay_speedup = replay_scalar / replay_vec
+
+    cell_scalar, cell_vec, reports = _interleaved_best(
+        lambda: characterize(
+            CELL["encoder"], CELL["video"],
+            crf=CELL["crf"], preset=CELL["preset"],
+        )
+    )
+    dicts = [dataclasses.asdict(r) for r in reports]
+    cell_parity = all(d == dicts[0] for d in dicts[1:])
+    cell_speedup = cell_scalar / cell_vec
+
+    payload = {
+        "trace": trace.name,
+        "trace_events": len(trace),
+        "rounds": ROUNDS,
+        "replay_scalar_seconds": round(replay_scalar, 3),
+        "replay_vectorized_seconds": round(replay_vec, 3),
+        "replay_speedup": round(replay_speedup, 2),
+        "replay_speedup_floor": REPLAY_SPEEDUP_FLOOR,
+        "replay_parity": replay_parity,
+        "cell": CELL,
+        "cell_scalar_seconds": round(cell_scalar, 3),
+        "cell_vectorized_seconds": round(cell_vec, 3),
+        "cell_speedup": round(cell_speedup, 2),
+        "cell_speedup_floor": CELL_SPEEDUP_FLOOR,
+        "cell_parity": cell_parity,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    assert replay_parity, (
+        "scalar and vectorized championship results diverged"
+    )
+    assert cell_parity, (
+        "scalar and vectorized cell reports diverged"
+    )
+    assert replay_speedup >= REPLAY_SPEEDUP_FLOOR, (
+        f"replay only {replay_speedup:.2f}x faster "
+        f"({replay_vec:.2f}s vs {replay_scalar:.2f}s scalar); "
+        f"floor is {REPLAY_SPEEDUP_FLOOR}x"
+    )
+    assert cell_speedup >= CELL_SPEEDUP_FLOOR, (
+        f"cold cell only {cell_speedup:.2f}x faster "
+        f"({cell_vec:.2f}s vs {cell_scalar:.2f}s scalar); "
+        f"floor is {CELL_SPEEDUP_FLOOR}x"
+    )

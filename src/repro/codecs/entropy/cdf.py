@@ -30,6 +30,13 @@ _COST_ONE = np.array(
 )
 
 
+#: Python-list mirrors of the cost tables: ``tolist`` yields the same
+#: float64 values, and plain-list indexing avoids per-bit numpy scalar
+#: boxing in the coder's hot loop.
+COST_ZERO_BITS: list[float] = _COST_ZERO.tolist()
+COST_ONE_BITS: list[float] = _COST_ONE.tolist()
+
+
 def bit_cost(bit: int, prob: int) -> float:
     """Bits to code ``bit`` at ``P(0) = prob/256``."""
     if not 1 <= prob <= 255:

@@ -20,9 +20,10 @@ import functools
 
 import numpy as np
 
+from ... import kernels
 from ...errors import CodecError
 from .arithmetic import BoolEncoder
-from .cdf import ContextSet
+from .cdf import COST_ONE_BITS, COST_ZERO_BITS, AdaptiveBit, ContextSet
 
 
 @functools.lru_cache(maxsize=None)
@@ -94,6 +95,55 @@ def fast_rate_estimate_batch(levels: np.ndarray) -> float:
     return float(per_tile.sum())
 
 
+def fast_rate_estimate_groups(levels: np.ndarray) -> list[float]:
+    """:func:`fast_rate_estimate_batch` of every ``(n, s, s)`` group in
+    a ``(g, n, s, s)`` stack, in one vectorised pass.
+
+    The per-tile model is evaluated over the flattened stack with the
+    exact expressions of the per-group call, and each group's total is
+    the sum of its own (contiguous) row of per-tile estimates — so
+    every returned value is bit-identical to calling
+    :func:`fast_rate_estimate_batch` on that group alone.
+    """
+    if levels.ndim != 4 or levels.shape[2] != levels.shape[3]:
+        raise CodecError(f"expected (g, n, s, s) level stack, got {levels.shape}")
+    g, n, size, _ = levels.shape
+    if g == 0 or n == 0:
+        return [0.0] * g
+    order = zigzag_order(size)
+    scanned = levels.reshape(g * n, -1)[:, order]
+    nonzero = scanned != 0
+    any_nz = nonzero.any(axis=1)
+    eob = np.where(
+        any_nz, size * size - nonzero[:, ::-1].argmax(axis=1), 0
+    ).astype(np.float64)
+    mags = np.abs(scanned).astype(np.float64)
+    mag_bits = np.where(
+        nonzero, 2.0 * np.ceil(np.log2(mags + 1.0)) + 1.0, 0.0
+    ).sum(axis=1)
+    sign_bits = nonzero.sum(axis=1).astype(np.float64)
+    per_tile = np.where(any_nz, 1.0 + eob + mag_bits + sign_bits, 1.0).reshape(g, n)
+    return per_tile.sum(axis=1).tolist()
+
+
+@functools.lru_cache(maxsize=None)
+def _context_names(ctx_prefix: str) -> tuple:
+    """Precomputed context-name tables for one block class.
+
+    The adaptive coder names contexts with per-bit f-strings; building
+    those strings dominates the coding loop, so the fast path interns
+    them once per (prefix, band, level).
+    """
+    cbf = f"{ctx_prefix}.cbf"
+    sig = tuple(f"{ctx_prefix}.sig{band}" for band in range(6))
+    last = tuple(f"{ctx_prefix}.last{band}" for band in range(6))
+    mag = tuple(
+        tuple(f"{ctx_prefix}.mag{band}.gt{level}" for level in range(1, 4))
+        for band in range(6)
+    )
+    return cbf, sig, last, mag
+
+
 class CoefficientCoder:
     """Adaptive-context coefficient coder over a shared bool encoder.
 
@@ -147,6 +197,13 @@ class CoefficientCoder:
         so differently-behaved block classes adapt independently, as in
         real codecs.
         """
+        if kernels.vectorized_enabled():
+            return self._code_block_fast(levels, ctx_prefix)
+        return self._code_block_scalar(levels, ctx_prefix)
+
+    def _code_block_scalar(
+        self, levels: np.ndarray, ctx_prefix: str
+    ) -> tuple[float, int]:
         scanned = scan_levels(levels)
         nonzero = np.nonzero(scanned)[0]
         coded = 1 if nonzero.size else 0
@@ -176,5 +233,131 @@ class CoefficientCoder:
             # Code whether this was the last significant coefficient.
             last = 1 if pos == eob - 1 else 0
             bits += self._code_bit(f"{ctx_prefix}.last{band}", last, initial=128)
+            symbols += 1
+        return bits, symbols
+
+    def _code_block_fast(
+        self, levels: np.ndarray, ctx_prefix: str
+    ) -> tuple[float, int]:
+        """Scalar-identical ``code_block`` with the per-bit overhead hoisted.
+
+        Context names are interned per block class, the cost tables are
+        indexed as plain lists and the :class:`AdaptiveBit` update is
+        inlined; the coded bit sequence, accumulated ``bits`` float and
+        adapted context state are bit-identical to the scalar path.
+        """
+        scanned = scan_levels(levels)
+        nonzero = np.nonzero(scanned)[0]
+        coded = 1 if nonzero.size else 0
+
+        cbf_name, sig_names, last_names, mag_names = _context_names(ctx_prefix)
+        contexts = self._contexts
+        ctxmap = contexts._contexts
+        rate = contexts._rate
+        encoder = self._encoder
+        cost_zero = COST_ZERO_BITS
+        cost_one = COST_ONE_BITS
+
+        bits = 0.0
+        symbols = 1
+        ctx = ctxmap.get(cbf_name)
+        if ctx is None:
+            ctx = AdaptiveBit(initial=140, rate=rate)
+            ctxmap[cbf_name] = ctx
+        prob = ctx.prob
+        bits += cost_one[prob] if coded else cost_zero[prob]
+        if encoder is not None:
+            encoder.encode(coded, prob)
+        if coded:
+            prob -= prob >> rate
+        else:
+            prob += (256 - prob) >> rate
+        ctx.prob = min(255, max(1, prob))
+        if not coded:
+            return bits, symbols
+
+        scanned_list = scanned.tolist()
+        eob = int(nonzero[-1]) + 1
+        last_pos = eob - 1
+        for pos in range(eob):
+            level = scanned_list[pos]
+            band = pos >> 2
+            if band > 5:
+                band = 5
+            sig = 1 if level else 0
+            ctx = ctxmap.get(sig_names[band])
+            if ctx is None:
+                ctx = AdaptiveBit(initial=110, rate=rate)
+                ctxmap[sig_names[band]] = ctx
+            prob = ctx.prob
+            bits += cost_one[prob] if sig else cost_zero[prob]
+            if encoder is not None:
+                encoder.encode(sig, prob)
+            if sig:
+                prob -= prob >> rate
+            else:
+                prob += (256 - prob) >> rate
+            ctx.prob = min(255, max(1, prob))
+            symbols += 1
+            if not sig:
+                continue
+
+            # Magnitude: unary prefix over gt1..gt3, then literal escape.
+            # Costs fold into a local sum first, matching the scalar
+            # path's float accumulation order bit-for-bit.
+            magnitude = -level if level < 0 else level
+            gt_names = mag_names[band]
+            mag_bits = 0.0
+            escaped = True
+            for index in range(3):
+                more = 1 if magnitude > index + 1 else 0
+                name = gt_names[index]
+                ctx = ctxmap.get(name)
+                if ctx is None:
+                    ctx = AdaptiveBit(initial=96, rate=rate)
+                    ctxmap[name] = ctx
+                prob = ctx.prob
+                mag_bits += cost_one[prob] if more else cost_zero[prob]
+                if encoder is not None:
+                    encoder.encode(more, prob)
+                if more:
+                    prob -= prob >> rate
+                else:
+                    prob += (256 - prob) >> rate
+                ctx.prob = min(255, max(1, prob))
+                symbols += 1
+                if not more:
+                    escaped = False
+                    break
+            if escaped:
+                remainder = magnitude - 4
+                nbits = max(1, remainder.bit_length())
+                if encoder is not None:
+                    encoder.encode_literal(nbits - 1, 4)
+                    encoder.encode_literal(remainder, nbits)
+                mag_bits += 4 + nbits
+                symbols += 4 + nbits
+            bits += mag_bits
+
+            sign = 1 if level < 0 else 0
+            if encoder is not None:
+                encoder.encode(sign, 128)
+            bits += 1.0
+            symbols += 1
+
+            last = 1 if pos == last_pos else 0
+            ctx = ctxmap.get(last_names[band])
+            if ctx is None:
+                ctx = AdaptiveBit(initial=128, rate=rate)
+                ctxmap[last_names[band]] = ctx
+            prob = ctx.prob
+            bits += cost_one[prob] if last else cost_zero[prob]
+            if encoder is not None:
+                encoder.encode(last, prob)
+            if last:
+                prob -= prob >> rate
+            else:
+                prob += (256 - prob) >> rate
+            ctx.prob = min(255, max(1, prob))
             symbols += 1
         return bits, symbols

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import kernels
 from ..errors import CodecError
 
 
@@ -89,6 +90,13 @@ def _padded_window(
     left = col - margin
     out_h = height + 2 * margin
     out_w = width + 2 * margin
+    # Fully-interior windows (the overwhelmingly common case) need no
+    # padding: return a plain view.  Callers consume the window within
+    # the same search call, before the reference plane can change.
+    if top >= 0 and left >= 0 and top + out_h <= ref.shape[0] and (
+        left + out_w <= ref.shape[1]
+    ):
+        return ref[top : top + out_h, left : left + out_w]
     # Clipped fancy indexing replicates the frame edge for any window
     # position, including windows pushed fully outside the frame (edge
     # blocks with outward MVs) — the behaviour of real encoders' padded
@@ -171,12 +179,25 @@ def diamond_search(
                        margin + dc : margin + dc + width]
         return float(np.abs(block.astype(np.int32) - src32).sum())
 
+    if kernels.vectorized_enabled():
+        # Hoist the uint8 -> int32 widening out of the candidate loop:
+        # every SAD then reduces over a view of one pre-widened window
+        # instead of converting its own slice.  The differences are the
+        # same integers, so the SADs are equal, not merely close.
+        win32 = window.astype(np.int32)
+
+        def sad_at(dr: int, dc: int) -> float:  # noqa: F811
+            block = win32[margin + dr : margin + dr + height,
+                          margin + dc : margin + dc + width]
+            return float(np.abs(block - src32).sum())
+
     cur_r, cur_c = start.row // 8, start.col // 8
     cur_r = max(-search_range, min(search_range, cur_r))
     cur_c = max(-search_range, min(search_range, cur_c))
     best = sad_at(cur_r, cur_c)
     positions = 1
     improvements: list[bool] = [True]
+
     for _ in range(max_steps):
         improved = False
         for dr, dc in _LARGE_DIAMOND:
@@ -210,6 +231,15 @@ def diamond_search(
 def interpolate(ref: np.ndarray, row: int, col: int, height: int, width: int,
                 mv: MotionVector) -> np.ndarray:
     """Motion-compensated prediction at eighth-pel precision (bilinear)."""
+    if kernels.vectorized_enabled() and mv.row % 8 == 0 and mv.col % 8 == 0:
+        # Integer-pel vector: both fractional taps are exactly zero, so
+        # the bilinear blend multiplies by 1.0/0.0 and rint/clip are
+        # identities on the uint8 samples — the prediction IS the
+        # (edge-padded) reference window.
+        window = _padded_window(
+            ref, row + mv.row // 8, col + mv.col // 8, height, width, 0
+        )
+        return np.array(window, dtype=np.uint8)  # owned copy, never a view
     fr = row + mv.row / 8.0
     fc = col + mv.col / 8.0
     r0 = int(np.floor(fr))
@@ -276,24 +306,60 @@ def subpel_refine(
         pred = top * (1 - ar) + bot * ar
         return float(np.abs(src_f - pred).sum())
 
+    fast = kernels.vectorized_enabled()
     step = 4  # half-pel in eighth-pel units
     for _ in range(min(depth, 3)):
         # Candidates are taken around the level's starting centre, so
         # total drift from the integer-pel winner stays under one pel
-        # (the pre-extracted window's margin).
+        # (the pre-extracted window's margin).  The centre is fixed for
+        # the whole level, so (unlike the diamond passes) all eight
+        # candidates batch without replay: the bilinear taps stack into
+        # one broadcast blend, and each SAD reduces over its own
+        # contiguous slice with the scalar path's exact expression.
         centre = best_mv
-        for dr in (-step, 0, step):
-            for dc in (-step, 0, step):
-                if dr == 0 and dc == 0:
-                    continue
-                mv = MotionVector(centre.row + dr, centre.col + dc)
-                interp_pixels += height * width
-                positions += 1
-                sad = sad_at(mv)
-                better = sad < best_sad
-                improvements.append(better)
-                if better:
-                    best_sad, best_mv = sad, mv
+        candidates = [
+            MotionVector(centre.row + dr, centre.col + dc)
+            for dr in (-step, 0, step)
+            for dc in (-step, 0, step)
+            if not (dr == 0 and dc == 0)
+        ]
+        if fast:
+            # The level's eight candidates share at most three distinct
+            # horizontal fractions, so the column blend is computed once
+            # per fraction over the whole window and every candidate's
+            # prediction is a two-tap row blend of views into it.  Each
+            # element goes through the exact tap expressions of
+            # ``sad_at``, so the SADs are bit-identical.
+            taps = []
+            for mv in candidates:
+                fr = row + mv.row / 8.0 - (base_r - margin)
+                fc = col + mv.col / 8.0 - (base_c - margin)
+                r0 = int(np.floor(fr))
+                c0 = int(np.floor(fc))
+                taps.append((r0, c0, fr - r0, fc - c0))
+            hblend: dict[float, np.ndarray] = {}
+            for _, _, _, ac in taps:
+                if ac not in hblend:
+                    hblend[ac] = (
+                        window_f[:, :-1] * (1 - ac) + window_f[:, 1:] * ac
+                    )
+            sads = []
+            for r0, c0, ar, ac in taps:
+                cols = hblend[ac]
+                top = cols[r0 : r0 + height, c0 : c0 + width]
+                bot = cols[r0 + 1 : r0 + height + 1, c0 : c0 + width]
+                pred = top * (1 - ar) + bot * ar
+                sads.append(float(np.abs(src_f - pred).sum()))
+        else:
+            sads = None
+        for index, mv in enumerate(candidates):
+            interp_pixels += height * width
+            positions += 1
+            sad = sads[index] if sads is not None else sad_at(mv)
+            better = sad < best_sad
+            improvements.append(better)
+            if better:
+                best_sad, best_mv = sad, mv
         step //= 2
         if step == 0:
             break

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import kernels
 from ..obs.span import trace_span
 from ..trace.instrument import Instrumenter, PlaneHandle
 from ..video.frame import Frame, Video
@@ -48,7 +49,11 @@ from .base import (
 from .blocks import BlockRect, PartitionType, legal_partitions, sub_blocks
 from .entropy.arithmetic import BoolEncoder
 from .entropy.cdf import ContextSet, signed_exp_golomb_bits
-from .entropy.coefcode import CoefficientCoder, fast_rate_estimate_batch
+from .entropy.coefcode import (
+    CoefficientCoder,
+    fast_rate_estimate_batch,
+    fast_rate_estimate_groups,
+)
 from .motion import (
     ZERO_MV,
     MotionVector,
@@ -65,8 +70,11 @@ from .transform import (
     TRANSFORM_SIZES,
     TX_TYPES,
     forward_tx_batch,
+    forward_tx_stack,
     inverse_tx_batch,
+    inverse_tx_stack,
     satd,
+    satd_batch,
     tile_block,
     untile_block,
 )
@@ -504,21 +512,79 @@ class _EncodeRun:
         scores: list[tuple[float, int, IntraMode]] = []
         best_score = float("inf")
         exit_threshold = self._mode_exit_threshold(rect.pixels)
+
+        # Vectorized-kernels path: candidate SATDs (and edge-filtered
+        # alternatives) are evaluated in stacked Hadamard passes of a
+        # few modes at a time, then the scalar decision loop — charges,
+        # branches and the early exit included — replays over the
+        # precomputed scores.  The replay consumes scores in the same
+        # order with the same float values, so the ranking and every
+        # recorded event are bit-identical; chunking bounds the
+        # speculative work past the early exit to the tail of one
+        # chunk.
+        satd_scores: list[float] | None = None
+        alt_satd: dict[int, float] = {}
+        use_batch = kernels.vectorized_enabled() and len(modes) > 1
+        if use_batch:
+            satd_scores = []
+            _chunk = 4
+
+            def _ensure_scores(upto: int) -> None:
+                while len(satd_scores) < upto:
+                    lo = len(satd_scores)
+                    chunk = modes[lo : lo + _chunk]
+                    residuals = np.stack([
+                        src_block - predict(
+                            mode, above, left, rect.height, rect.width
+                        ).astype(np.int32)
+                        for mode in chunk
+                    ])
+                    satd_scores.extend(satd_batch(residuals))
+                    if self.profile.intra_edge_filter:
+                        alt_modes = [
+                            (lo + offset, mode)
+                            for offset, mode in enumerate(chunk)
+                            if mode.value.startswith("d")
+                        ]
+                        if alt_modes:
+                            alt_residuals = np.stack([
+                                src_block - predict(
+                                    mode, smooth_above, smooth_left,
+                                    rect.height, rect.width,
+                                ).astype(np.int32)
+                                for _, mode in alt_modes
+                            ])
+                            for (idx, _), value in zip(
+                                alt_modes, satd_batch(alt_residuals)
+                            ):
+                                alt_satd[idx] = value
+
         for index, mode in enumerate(modes):
-            pred = predict(mode, above, left, rect.height, rect.width)
-            inst.kernel("intra_pred", rect.pixels)
-            residual = src_block - pred.astype(np.int32)
-            score = satd(residual) + self.lam * _MODE_SIGNAL_BITS
-            inst.kernel("satd", rect.pixels)
-            if self.profile.intra_edge_filter and mode.value.startswith("d"):
-                alt = predict(
-                    mode, smooth_above, smooth_left, rect.height, rect.width
-                )
+            if satd_scores is not None:
+                _ensure_scores(index + 1)
                 inst.kernel("intra_pred", rect.pixels)
-                alt_score = satd(src_block - alt.astype(np.int32)) + (
-                    self.lam * _MODE_SIGNAL_BITS
-                )
+                score = satd_scores[index] + self.lam * _MODE_SIGNAL_BITS
                 inst.kernel("satd", rect.pixels)
+            else:
+                pred = predict(mode, above, left, rect.height, rect.width)
+                inst.kernel("intra_pred", rect.pixels)
+                residual = src_block - pred.astype(np.int32)
+                score = satd(residual) + self.lam * _MODE_SIGNAL_BITS
+                inst.kernel("satd", rect.pixels)
+            if self.profile.intra_edge_filter and mode.value.startswith("d"):
+                if satd_scores is not None:
+                    inst.kernel("intra_pred", rect.pixels)
+                    alt_score = alt_satd[index] + self.lam * _MODE_SIGNAL_BITS
+                    inst.kernel("satd", rect.pixels)
+                else:
+                    alt = predict(
+                        mode, smooth_above, smooth_left, rect.height, rect.width
+                    )
+                    inst.kernel("intra_pred", rect.pixels)
+                    alt_score = satd(src_block - alt.astype(np.int32)) + (
+                        self.lam * _MODE_SIGNAL_BITS
+                    )
+                    inst.kernel("satd", rect.pixels)
                 inst.branch(
                     inst.site(f"{family}.md.edgefilter.improve"),
                     alt_score < score,
@@ -798,29 +864,53 @@ class _EncodeRun:
     # Motion compensation with filter variants
     # ------------------------------------------------------------------
     def _mc_pred(
-        self, rect: BlockRect, mv: MotionVector, ref_index: int, filt: int
+        self,
+        rect: BlockRect,
+        mv: MotionVector,
+        ref_index: int,
+        filt: int,
+        _base: np.ndarray | None = None,
     ) -> np.ndarray:
         """Motion-compensated prediction with one of three MC filters.
 
         Filter 0 is the base interpolator; 1 ("smooth") low-passes the
         prediction; 2 ("sharp") adds a mild unsharp mask — the
         regular/smooth/sharp switchable filters of VP9/AV1.
+
+        ``_base`` short-circuits the (deterministic) base interpolation
+        when the caller already holds it for this ``(rect, mv, ref)`` —
+        the interpolation cost is still charged, so instrumentation is
+        unchanged.
         """
         inst = self.inst
         ref = self.refs[ref_index]
-        pred = interpolate(
-            ref, rect.row, rect.col, rect.height, rect.width, mv
-        ).astype(np.float64)
+        if _base is not None:
+            pred = _base
+        else:
+            pred = interpolate(
+                ref, rect.row, rect.col, rect.height, rect.width, mv
+            ).astype(np.float64)
         inst.kernel("mc_interp", rect.pixels * self.mc_cost)
         inst.touch(self.ref_planes[ref_index], rect.row, rect.height,
                    rect.col, rect.width)
         if filt == 0:
             return pred.astype(np.uint8)
-        blurred = (
-            pred
-            + np.roll(pred, 1, axis=0) + np.roll(pred, -1, axis=0)
-            + np.roll(pred, 1, axis=1) + np.roll(pred, -1, axis=1)
-        ) / 5.0
+        # Slice-assembled circular shifts: same wrap-around semantics (and
+        # the same operand order, hence bit-identical sums) as four
+        # np.roll calls, without their per-call indexing overhead.
+        down = np.empty_like(pred)
+        down[0] = pred[-1]
+        down[1:] = pred[:-1]
+        up = np.empty_like(pred)
+        up[-1] = pred[0]
+        up[:-1] = pred[1:]
+        right = np.empty_like(pred)
+        right[:, 0] = pred[:, -1]
+        right[:, 1:] = pred[:, :-1]
+        left = np.empty_like(pred)
+        left[:, -1] = pred[:, 0]
+        left[:, :-1] = pred[:, 1:]
+        blurred = (pred + down + up + right + left) / 5.0
         inst.kernel("mc_interp", rect.pixels * self.mc_cost)
         if filt == 1:
             out = blurred
@@ -855,6 +945,8 @@ class _EncodeRun:
         configuration are processed as a single batched matmul, as a
         SIMD transform kernel would.
         """
+        if kernels.vectorized_enabled():
+            return self._transform_rd_fast(rect, residual)
         inst = self.inst
         best: TransformChoice | None = None
         best_cost = float("inf")
@@ -876,6 +968,66 @@ class _EncodeRun:
                 inst.kernel("dequant", rect.pixels)
                 inst.kernel("idct", rect.pixels)
                 recon_res = untile_block(recon_tiles, rect.height, rect.width)
+                sse = float(((residual - recon_res) ** 2).sum())
+                inst.kernel("variance", rect.pixels)
+                nonzero = bool(levels.any())
+                inst.branch(inst.site(f"{self.spec.family}.tx.cbf"), nonzero)
+                cost = sse + self.lam * bits
+                better = cost < best_cost
+                if size_idx > 0 or type_idx > 0:
+                    inst.branch(
+                        inst.site(
+                            f"{self.spec.family}.tx.cand.improve"
+                        ),
+                        better,
+                    )
+                if better:
+                    best_cost = cost
+                    best = TransformChoice(
+                        tx_size=tx, tx_type=tx_type, sse=sse, bits=bits,
+                        recon_residual=recon_res, levels=levels,
+                    )
+        assert best is not None
+        return best
+
+    def _transform_rd_fast(
+        self, rect: BlockRect, residual: np.ndarray
+    ) -> TransformChoice:
+        """Type-batched :meth:`_transform_rd` (vectorized-kernels path).
+
+        For each candidate size, all transform types run as one stacked
+        forward/quantise/rate/dequantise/inverse pass; the scalar
+        decision loop is then replayed in the original candidate order
+        over the precomputed per-type results, so every instruction
+        charge, branch outcome and RD comparison — and the returned
+        choice — is bit-identical to the unbatched search (DESIGN.md
+        "Kernel architecture").
+        """
+        inst = self.inst
+        best: TransformChoice | None = None
+        best_cost = float("inf")
+        tx_types = tuple(TX_TYPES[: self.profile.tx_types])
+        for size_idx, tx in enumerate(
+            self._tx_candidate_sizes(rect.height, rect.width)
+        ):
+            tiles = tile_block(residual, tx)
+            coeff_stack = forward_tx_stack(tiles, tx_types)
+            level_stack = self.quant.quantize(coeff_stack)
+            bits_by_type = fast_rate_estimate_groups(level_stack)
+            recon_stack = inverse_tx_stack(
+                self.quant.dequantize(level_stack), tx_types
+            )
+            for type_idx, tx_type in enumerate(tx_types):
+                inst.kernel("fdct", rect.pixels)
+                levels = level_stack[type_idx]
+                inst.kernel("quant", rect.pixels)
+                bits = bits_by_type[type_idx]
+                inst.kernel("rate_estimate", rect.pixels * 0.25)
+                inst.kernel("dequant", rect.pixels)
+                inst.kernel("idct", rect.pixels)
+                recon_res = untile_block(
+                    recon_stack[type_idx], rect.height, rect.width
+                )
                 sse = float(((residual - recon_res) ** 2).sum())
                 inst.kernel("variance", rect.pixels)
                 nonzero = bool(levels.any())
@@ -928,8 +1080,18 @@ class _EncodeRun:
         best_filt = 0
         best_pred: np.ndarray | None = None
         best_err = float("inf")
-        for filt in range(max(1, self.profile.interp_filters)):
-            pred = self._mc_pred(rect, mv, ref_index, filt)
+        num_filters = max(1, self.profile.interp_filters)
+        # Every filter variant post-processes the same base
+        # interpolation, so the fast path computes it once and feeds it
+        # to each charged :meth:`_mc_pred` call.
+        base: np.ndarray | None = None
+        if kernels.vectorized_enabled() and num_filters > 1:
+            base = interpolate(
+                self.refs[ref_index], rect.row, rect.col,
+                rect.height, rect.width, mv,
+            ).astype(np.float64)
+        for filt in range(num_filters):
+            pred = self._mc_pred(rect, mv, ref_index, filt, _base=base)
             err = float(
                 ((src_block - pred.astype(np.int32)) ** 2).sum()
             )

@@ -96,8 +96,10 @@ class Quantizer:
         scaled = coeffs / self.step
         signs = np.sign(scaled)
         mags = np.abs(scaled)
+        # The +(1 - deadzone) bias already floors sub-deadzone magnitudes
+        # to level 0 (mags < deadzone implies the argument is below 1), so
+        # no explicit dead-zone mask is needed.
         levels = np.floor(mags + (1.0 - self.deadzone))
-        levels = np.where(mags < self.deadzone, 0.0, levels)
         out = (signs * levels).astype(np.int32)
         out[..., 0, 0] = np.rint(coeffs[..., 0, 0] / self.dc_step).astype(np.int32)
         return out

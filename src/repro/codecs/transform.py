@@ -81,6 +81,36 @@ def forward_tx_batch(tiles: np.ndarray, tx_type: str = "dct_dct") -> np.ndarray:
     return row_basis @ tiles.astype(np.float64) @ col_basis.T
 
 
+@functools.lru_cache(maxsize=None)
+def _tx_bases_stack(
+    tx_types: tuple[str, ...], size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-type basis matrices stacked for broadcast matmuls.
+
+    Returns ``(row, col_t, row_t, col)`` each shaped ``(T, 1, s, s)``
+    so that ``row @ tiles[None] @ col_t`` evaluates every transform
+    type's forward pass (and ``row_t @ coeffs @ col`` the inverse) in
+    one matmul pair.  Broadcast matmul runs the identical 2-D product
+    per slice, so each type's plane is bit-identical to the unstacked
+    :func:`forward_tx_batch` / :func:`inverse_tx_batch` result.
+    """
+    rows = np.stack([_tx_bases(t, size)[0] for t in tx_types])[:, None]
+    cols = np.stack([_tx_bases(t, size)[1] for t in tx_types])[:, None]
+    return rows, cols.swapaxes(-1, -2), rows.swapaxes(-1, -2), cols
+
+
+def forward_tx_stack(tiles: np.ndarray, tx_types: tuple[str, ...]) -> np.ndarray:
+    """All-types forward transform: ``(n, s, s)`` -> ``(T, n, s, s)``."""
+    row, col_t, _, _ = _tx_bases_stack(tx_types, tiles.shape[-1])
+    return row @ tiles.astype(np.float64)[None] @ col_t
+
+
+def inverse_tx_stack(coeffs: np.ndarray, tx_types: tuple[str, ...]) -> np.ndarray:
+    """All-types inverse transform of a ``(T, n, s, s)`` stack."""
+    _, _, row_t, col = _tx_bases_stack(tx_types, coeffs.shape[-1])
+    return row_t @ coeffs.astype(np.float64) @ col
+
+
 def inverse_tx_batch(coeffs: np.ndarray, tx_type: str = "dct_dct") -> np.ndarray:
     """Inverse of :func:`forward_tx_batch`."""
     size = coeffs.shape[-1]
@@ -200,3 +230,26 @@ def satd(residual: np.ndarray) -> float:
     )
     transformed = mat @ tiles @ mat.T
     return float(np.abs(transformed).sum() / size)
+
+
+def satd_batch(residuals: np.ndarray) -> list[float]:
+    """:func:`satd` of every block in an ``(m, h, w)`` stack.
+
+    One broadcast Hadamard matmul pair covers all blocks; the
+    per-block reduction then runs on each (contiguous) slice with the
+    exact expression :func:`satd` uses, so every returned value is
+    bit-identical to the scalar call.
+    """
+    m, h, w = residuals.shape
+    size = min(8, h, w)
+    if size & (size - 1):
+        size = 4
+    mat = hadamard_matrix(size)
+    rows = h - h % size
+    cols = w - w % size
+    res = residuals[:, :rows, :cols].astype(np.float64)
+    tiles = res.reshape(m, rows // size, size, cols // size, size).transpose(
+        0, 1, 3, 2, 4
+    )
+    transformed = mat @ tiles @ mat.T
+    return [float(np.abs(block).sum() / size) for block in transformed]

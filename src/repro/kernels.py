@@ -1,0 +1,60 @@
+"""Kernel-path switch: scalar reference vs. vectorized fast path.
+
+PR 5 adds vectorized "in-cell" kernels (columnar predictor replay,
+encoder block batching, the batched cache walk) underneath the existing
+APIs.  Every fast path is **bit-equal** to the scalar reference it
+replaces — same mispredict counts, same coded bits, same cache stats —
+which parity tests and ``repro validate`` invariants assert.  The
+scalar implementations are kept, both as the executable specification
+the fast paths are tested against and as the baseline the kernel
+benchmark suite (``benchmarks/test_kernel_speed.py``) times.
+
+Selection:
+
+- default — vectorized kernels;
+- ``REPRO_SCALAR_KERNELS=1`` in the environment — scalar reference
+  everywhere (inherited by pooled workers, so a whole sweep can be
+  forced scalar);
+- :func:`scalar_kernels` / :func:`vectorized_kernels` — scoped
+  overrides for benchmarks and parity tests (innermost wins).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment flag: set to ``1``/``true``/``yes`` to force the scalar
+#: reference kernels process-wide.
+SCALAR_ENV = "REPRO_SCALAR_KERNELS"
+
+#: Stack of scoped overrides; each entry is True for "force scalar".
+_forced: list[bool] = []
+
+
+def vectorized_enabled() -> bool:
+    """True when the vectorized fast paths should run."""
+    if _forced:
+        return not _forced[-1]
+    return os.environ.get(SCALAR_ENV, "").lower() not in ("1", "true", "yes")
+
+
+@contextmanager
+def scalar_kernels() -> Iterator[None]:
+    """Force the scalar reference kernels inside the block."""
+    _forced.append(True)
+    try:
+        yield
+    finally:
+        _forced.pop()
+
+
+@contextmanager
+def vectorized_kernels() -> Iterator[None]:
+    """Force the vectorized kernels inside the block (overrides env)."""
+    _forced.append(False)
+    try:
+        yield
+    finally:
+        _forced.pop()

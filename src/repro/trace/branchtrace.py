@@ -6,6 +6,13 @@ module defines the equivalent artifact for our pipeline: an ordered
 sequence of conditional-branch events plus the metadata the harness
 needs to report MPKI (the instruction count of the traced window).
 
+Storage is **columnar**: the canonical form is a pair of NumPy arrays
+(``pcs`` int64, ``taken`` uint8), which is what the vectorized replay
+kernels consume directly (:meth:`BranchTrace.columns`).  The
+object-per-event view (``events``) is materialised lazily for callers
+that iterate, so the hot path never builds a million ``BranchEvent``
+instances.
+
 Traces can be serialised to a compact binary format (8-byte PC + 1-byte
 outcome per record, zlib-compressed) so benchmark runs can reuse traces
 across predictor configurations without re-encoding.
@@ -13,12 +20,12 @@ across predictor configurations without re-encoding.
 
 from __future__ import annotations
 
-import io
 import os
 import struct
 import zlib
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..errors import TraceError
 from .instruction import BranchEvent
@@ -27,15 +34,18 @@ _MAGIC = b"RBT1"
 _HEADER = struct.Struct("<4sQQd")
 _RECORD = struct.Struct("<qB")
 
+#: Packed on-disk record layout, matching ``_RECORD`` byte-for-byte.
+_RECORD_DTYPE = np.dtype([("pc", "<i8"), ("taken", "u1")])
 
-@dataclass
+
 class BranchTrace:
     """A bounded window of conditional-branch events.
 
     Parameters
     ----------
     events:
-        Branch events in program order.
+        Branch events in program order (legacy constructor path; the
+        columnar :meth:`from_columns` is preferred on hot paths).
     window_instructions:
         Dynamic instructions executed over the traced window (the
         divisor for MPKI).
@@ -43,36 +53,126 @@ class BranchTrace:
         Workload identifier (e.g. ``"game1@crf63,p8"``).
     """
 
-    events: list[BranchEvent]
-    window_instructions: float
-    name: str = "trace"
+    __slots__ = ("window_instructions", "name", "_pcs", "_taken", "_events")
 
-    def __post_init__(self) -> None:
-        if self.window_instructions <= 0:
+    def __init__(
+        self,
+        events: Sequence[BranchEvent] | None = None,
+        window_instructions: float = 0.0,
+        name: str = "trace",
+    ) -> None:
+        if window_instructions <= 0:
             raise TraceError("traced window must cover > 0 instructions")
+        self.window_instructions = window_instructions
+        self.name = name
+        event_list = list(events) if events is not None else []
+        self._events: list[BranchEvent] | None = event_list
+        self._pcs: np.ndarray | None = None
+        self._taken: np.ndarray | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        pcs: np.ndarray,
+        taken: np.ndarray,
+        window_instructions: float,
+        name: str = "trace",
+    ) -> "BranchTrace":
+        """Build a trace directly from columnar arrays (no event objects)."""
+        if pcs.shape != taken.shape or pcs.ndim != 1:
+            raise TraceError(
+                f"column shape mismatch: pcs {pcs.shape} vs taken {taken.shape}"
+            )
+        trace = cls.__new__(cls)
+        if window_instructions <= 0:
+            raise TraceError("traced window must cover > 0 instructions")
+        trace.window_instructions = window_instructions
+        trace.name = name
+        trace._pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        trace._taken = np.ascontiguousarray(
+            np.asarray(taken) != 0, dtype=np.uint8
+        )
+        trace._events = None
+        return trace
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar view ``(pcs int64, taken uint8)`` in program order."""
+        if self._pcs is None:
+            events = self._events or []
+            self._pcs = np.fromiter(
+                (e.pc for e in events), dtype=np.int64, count=len(events)
+            )
+            self._taken = np.fromiter(
+                (1 if e.taken else 0 for e in events),
+                dtype=np.uint8,
+                count=len(events),
+            )
+        return self._pcs, self._taken
+
+    @property
+    def pcs(self) -> np.ndarray:
+        """Branch PCs in program order (int64)."""
+        return self.columns()[0]
+
+    @property
+    def taken(self) -> np.ndarray:
+        """Branch outcomes in program order (uint8, 0/1)."""
+        return self.columns()[1]
+
+    @property
+    def events(self) -> list[BranchEvent]:
+        """Object-per-event view, materialised lazily."""
+        if self._events is None:
+            pcs, taken = self._pcs, self._taken
+            self._events = [
+                BranchEvent(pc=pc, taken=bool(t))
+                for pc, t in zip(pcs.tolist(), taken.tolist())
+            ]
+        return self._events
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._pcs is not None:
+            return int(self._pcs.size)
+        return len(self._events or [])
 
     def __iter__(self) -> Iterator[BranchEvent]:
         return iter(self.events)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BranchTrace):
+            return NotImplemented
+        if (
+            self.name != other.name
+            or self.window_instructions != other.window_instructions
+            or len(self) != len(other)
+        ):
+            return False
+        a_pcs, a_taken = self.columns()
+        b_pcs, b_taken = other.columns()
+        return bool(
+            np.array_equal(a_pcs, b_pcs) and np.array_equal(a_taken, b_taken)
+        )
+
     @property
     def num_branches(self) -> int:
         """Number of conditional branches in the window."""
-        return len(self.events)
+        return len(self)
 
     @property
     def taken_rate(self) -> float:
         """Fraction of branches taken (0 for an empty trace)."""
-        if not self.events:
+        _, taken = self.columns()
+        if taken.size == 0:
             return 0.0
-        return sum(1 for e in self.events if e.taken) / len(self.events)
+        return int(taken.sum()) / int(taken.size)
 
     @property
     def num_static_sites(self) -> int:
         """Number of distinct static branch PCs in the window."""
-        return len({e.pc for e in self.events})
+        return int(np.unique(self.pcs).size)
 
     def mpki_of(self, mispredicts: int) -> float:
         """Convert a mispredict count into misses/kilo-instruction."""
@@ -83,16 +183,17 @@ class BranchTrace:
     # ------------------------------------------------------------------
     def dump(self, path: str | os.PathLike[str]) -> None:
         """Write the trace to ``path`` in the compact binary format."""
-        body = io.BytesIO()
-        for event in self.events:
-            body.write(_RECORD.pack(event.pc, 1 if event.taken else 0))
-        payload = zlib.compress(body.getvalue(), level=6)
+        pcs, taken = self.columns()
+        records = np.empty(pcs.size, dtype=_RECORD_DTYPE)
+        records["pc"] = pcs
+        records["taken"] = taken
+        payload = zlib.compress(records.tobytes(), level=6)
         name_bytes = self.name.encode()
         with open(path, "wb") as fh:
             fh.write(
                 _HEADER.pack(
                     _MAGIC,
-                    len(self.events),
+                    pcs.size,
                     len(name_bytes),
                     self.window_instructions,
                 )
@@ -114,11 +215,13 @@ class BranchTrace:
             raw = zlib.decompress(fh.read())
         if len(raw) != count * _RECORD.size:
             raise TraceError(f"{path}: trace body length mismatch")
-        events = [
-            BranchEvent(pc=pc, taken=bool(taken))
-            for pc, taken in _RECORD.iter_unpack(raw)
-        ]
-        return cls(events=events, window_instructions=window, name=name)
+        records = np.frombuffer(raw, dtype=_RECORD_DTYPE)
+        return cls.from_columns(
+            np.array(records["pc"], dtype=np.int64),
+            np.array(records["taken"], dtype=np.uint8),
+            window_instructions=window,
+            name=name,
+        )
 
     @classmethod
     def from_events(

@@ -39,6 +39,7 @@ from typing import Iterator
 from ..errors import TraceError
 from .costmodel import kernel_cost
 from .instruction import (
+    CLASS_INDEX,
     BranchEvent,
     InstrClass,
     InstructionCounts,
@@ -51,6 +52,9 @@ LINE_BYTES = 64
 
 #: Process-wide kernel-cost lookup cache (costs are immutable).
 _KERNEL_CACHE: dict = {}
+
+_BRANCH_INDEX = CLASS_INDEX[InstrClass.BRANCH]
+_OTHER_INDEX = CLASS_INDEX[InstrClass.OTHER]
 
 
 def site_pc(name: str) -> int:
@@ -117,9 +121,20 @@ class Instrumenter:
         record_branches: bool = True,
         record_touches: bool = True,
     ) -> None:
-        self.counts = InstructionCounts()
+        self._counts = InstructionCounts()
         self.record_branches = record_branches
         self.record_touches = record_touches
+
+        # Pending (lazily folded) kernel charges.  Per-kernel unit
+        # totals are sums of dyadic rationals (pixel counts and
+        # quarter/half multiples thereof), so every partial sum is
+        # exact and the fold order cannot change the result; the dense
+        # class-vector update then happens once per distinct kernel at
+        # the next counts read instead of once per charge.
+        self._pending_kernels: dict[str, float] = {}
+        self._pending_fn: dict[str, dict[str, float]] = {}
+        self._fn_pending_top: dict[str, float] | None = None
+        self._counted_decisions = 0
 
         # Branch event stream (columnar for memory efficiency).
         self._branch_pcs = array("q")
@@ -141,7 +156,7 @@ class Instrumenter:
         self.bytes_written = 0
 
         # Flat profile.
-        self.functions: dict[str, FunctionProfile] = {}
+        self._functions: dict[str, FunctionProfile] = {}
         self._stack: list[str] = []
 
         # Address space.
@@ -175,29 +190,77 @@ class Instrumenter:
     # Instruction charging
     # ------------------------------------------------------------------
     def kernel(self, name: str, units: float) -> None:
-        """Charge ``units`` of work on kernel ``name``."""
+        """Charge ``units`` of work on kernel ``name``.
+
+        Charges are accumulated as per-kernel unit totals and folded
+        into the class vector lazily (see :meth:`_flush_counts`); the
+        hot path is two dictionary accumulations.
+        """
         if units < 0:
             raise TraceError(f"negative work units for kernel {name!r}")
-        cost = _KERNEL_CACHE.get(name)
-        if cost is None:
-            cost = kernel_cost(name)
-            _KERNEL_CACHE[name] = cost
-        self.counts.vec += cost.vector * units
-        if self._stack:
-            self.functions[self._stack[-1]].instructions += (
-                cost.per_unit_total * units
-            )
+        pend = self._pending_kernels
+        if name in pend:
+            pend[name] += units
+        else:
+            if name not in _KERNEL_CACHE:
+                _KERNEL_CACHE[name] = kernel_cost(name)
+            pend[name] = units
+        fpend = self._fn_pending_top
+        if fpend is not None:
+            if name in fpend:
+                fpend[name] += units
+            else:
+                fpend[name] = units
+
+    def _flush_counts(self) -> None:
+        """Fold pending kernel and branch charges into the class vector."""
+        vec = self._counts.vec
+        pend = self._pending_kernels
+        if pend:
+            for name, units in pend.items():
+                vec += _KERNEL_CACHE[name].vector * units
+            pend.clear()
+        delta = self.decision_branches - self._counted_decisions
+        if delta:
+            vec[_BRANCH_INDEX] += delta
+            vec[_OTHER_INDEX] += delta  # the compares feeding the branches
+            self._counted_decisions = self.decision_branches
+
+    def _flush_functions(self) -> None:
+        """Fold pending per-function kernel units into the flat profile."""
+        for fn, fpend in self._pending_fn.items():
+            if fpend:
+                self._functions[fn].instructions += sum(
+                    _KERNEL_CACHE[name].per_unit_total * units
+                    for name, units in fpend.items()
+                )
+                fpend.clear()
+
+    @property
+    def counts(self) -> InstructionCounts:
+        """Dynamic-instruction counts by class (flushes pending charges)."""
+        self._flush_counts()
+        return self._counts
+
+    @property
+    def functions(self) -> dict[str, FunctionProfile]:
+        """Flat profile by function name (flushes pending attribution)."""
+        self._flush_functions()
+        return self._functions
 
     @contextmanager
     def function(self, name: str) -> Iterator[None]:
         """Attribute kernel charges inside the block to ``name``."""
-        profile = self.functions.setdefault(name, FunctionProfile())
+        profile = self._functions.setdefault(name, FunctionProfile())
         profile.calls += 1
         self._stack.append(name)
+        parent_pending = self._fn_pending_top
+        self._fn_pending_top = self._pending_fn.setdefault(name, {})
         try:
             yield
         finally:
             self._stack.pop()
+            self._fn_pending_top = parent_pending
 
     # ------------------------------------------------------------------
     # Branch events
@@ -215,10 +278,10 @@ class Instrumenter:
 
         Charges one branch instruction in addition to any kernel mix,
         since decision branches are the data-dependent ones on top of
-        the bulk kernel code.
+        the bulk kernel code.  The class-vector update is deferred: the
+        integer decision counter is folded in at the next counts read
+        (integer adds are exact, so deferral cannot change the totals).
         """
-        self.counts.add(InstrClass.BRANCH, 1.0)
-        self.counts.add(InstrClass.OTHER, 1.0)  # the compare feeding it
         self.decision_branches += 1
         if taken:
             self.decision_taken += 1
@@ -341,7 +404,8 @@ class Instrumenter:
     @property
     def total_instructions(self) -> float:
         """Total dynamic instructions charged so far."""
-        return self.counts.total
+        self._flush_counts()
+        return self._counts.total
 
     def merge(self, other: "Instrumenter") -> None:
         """Fold another instrumenter's data into this one.
@@ -364,7 +428,8 @@ class Instrumenter:
         self._touch_repeats.extend(other._touch_repeats)
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
+        self._flush_functions()
         for name, prof in other.functions.items():
-            mine = self.functions.setdefault(name, FunctionProfile())
+            mine = self._functions.setdefault(name, FunctionProfile())
             mine.calls += prof.calls
             mine.instructions += prof.instructions

@@ -9,9 +9,10 @@ instruction count scaled accordingly for MPKI reporting.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import TraceError
 from .branchtrace import BranchTrace
-from .instruction import BranchEvent
 from .instrument import Instrumenter
 
 
@@ -53,13 +54,15 @@ def extract_midpoint_window(
         keep = min(keep, max_events)
     start = (total - keep) // 2
     window_fraction = keep / total
-    events = [
-        BranchEvent(pc=pcs[i], taken=bool(taken[i]))
-        for i in range(start, start + keep)
-    ]
+    # Columnar cut: the recorder's buffers are viewed as ndarrays and
+    # sliced directly — no per-event object is materialised on this
+    # path (the replay kernels consume the columns as-is).
+    pcs_col = np.frombuffer(pcs, dtype=np.int64)[start : start + keep]
+    taken_col = np.frombuffer(taken, dtype=np.int8)[start : start + keep]
     window_instructions = instrumenter.total_instructions * window_fraction
-    return BranchTrace(
-        events=events,
+    return BranchTrace.from_columns(
+        np.array(pcs_col, dtype=np.int64),
+        np.array(taken_col, dtype=np.uint8),
         window_instructions=max(window_instructions, 1.0),
         name=name,
     )

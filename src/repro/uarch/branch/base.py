@@ -5,6 +5,17 @@ All predictors implement the CBP-2016 contract: ``predict(pc)`` then
 ``storage_bits`` reports the predictor's state budget, which the
 championship rules bound (the paper compares 2 KB/32 KB Gshare with
 8 KB/64 KB TAGE configurations).
+
+Two replay paths exist (DESIGN.md "Kernel architecture"):
+
+- the **scalar reference** — the per-event ``predict_update`` loop,
+  selected by ``REPRO_SCALAR_KERNELS=1`` or
+  :func:`repro.kernels.scalar_kernels`;
+- the **vectorized fast path** — :meth:`BranchPredictor.replay` over
+  the trace's columnar form, overridden per predictor with NumPy
+  kernels that are bit-equal to the scalar walk (mispredict count
+  *and* post-replay predictor state), which parity tests and the
+  ``replay-scalar-parity`` invariant assert.
 """
 
 from __future__ import annotations
@@ -12,6 +23,9 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
+from ... import kernels
 from ...errors import SimulationError
 from ...trace.branchtrace import BranchTrace
 
@@ -39,6 +53,36 @@ class BranchPredictor(abc.ABC):
         """Storage in KiB (CBP reporting convention)."""
         return self.storage_bits / 8192.0
 
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one call; returns the prediction.
+
+        The default composes :meth:`predict` and :meth:`update`.
+        Table-indexed predictors override it to compute their index
+        once instead of twice (gshare previously recomputed the
+        history-XOR index in both halves of every event).
+        """
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        """Replay a columnar branch stream; returns the mispredict count.
+
+        ``pcs`` is int64 and ``taken`` uint8/bool, in program order
+        (see :meth:`repro.trace.branchtrace.BranchTrace.columns`).
+        The base implementation is the scalar loop; subclasses override
+        it with vectorized equivalents under the bit-parity contract:
+        identical mispredict count and identical post-replay predictor
+        state (a subsequent scalar event stream behaves the same).
+        """
+        mispredicts = 0
+        predict_update = self.predict_update
+        for pc, t in zip(pcs.tolist(), taken.tolist()):
+            outcome = t != 0
+            if predict_update(pc, outcome) != outcome:
+                mispredicts += 1
+        return mispredicts
+
 
 @dataclass(frozen=True)
 class PredictorResult:
@@ -64,20 +108,29 @@ class PredictorResult:
 def run_trace(
     predictor: BranchPredictor, trace: BranchTrace
 ) -> PredictorResult:
-    """Replay ``trace`` through ``predictor`` (predict-then-update)."""
-    if not trace.events:
+    """Replay ``trace`` through ``predictor`` (predict-then-update).
+
+    Routes through the predictor's columnar :meth:`replay` kernel on
+    the vectorized fast path; the scalar reference walks the stream
+    event-by-event via :meth:`predict_update`.  Both paths produce
+    bit-identical :class:`PredictorResult` rows.
+    """
+    pcs, taken = trace.columns()
+    if pcs.size == 0:
         raise SimulationError(f"trace {trace.name!r} is empty")
-    mispredicts = 0
-    predict = predictor.predict
-    update = predictor.update
-    for event in trace.events:
-        if predict(event.pc) != event.taken:
-            mispredicts += 1
-        update(event.pc, event.taken)
+    if kernels.vectorized_enabled():
+        mispredicts = int(predictor.replay(pcs, taken))
+    else:
+        mispredicts = 0
+        predict_update = predictor.predict_update
+        for pc, t in zip(pcs.tolist(), taken.tolist()):
+            outcome = t != 0
+            if predict_update(pc, outcome) != outcome:
+                mispredicts += 1
     return PredictorResult(
         predictor=predictor.name,
         trace=trace.name,
-        branches=len(trace.events),
+        branches=int(pcs.size),
         mispredicts=mispredicts,
         window_instructions=trace.window_instructions,
     )

@@ -6,6 +6,7 @@ import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
+from .replay import two_bit_counter_replay
 
 
 class BimodalPredictor(BranchPredictor):
@@ -39,6 +40,25 @@ class BimodalPredictor(BranchPredictor):
                 self._table[index] = counter + 1
         elif counter > 0:
             self._table[index] = counter - 1
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        return bool(counter >= 2)
+
+    def replay_predictions(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        """Vectorized per-event predictions; trains the table in place."""
+        indices = (pcs >> 2) & self._mask
+        return two_bit_counter_replay(self._table, indices, taken)
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        predictions = self.replay_predictions(pcs, taken)
+        return int(np.count_nonzero(predictions != (taken != 0)))
 
     @property
     def storage_bits(self) -> int:

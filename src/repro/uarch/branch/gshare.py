@@ -12,6 +12,7 @@ import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
+from .replay import final_history, history_stream, two_bit_counter_replay
 
 
 class GsharePredictor(BranchPredictor):
@@ -66,6 +67,38 @@ class GsharePredictor(BranchPredictor):
         elif counter > 0:
             self._table[index] = counter - 1
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        # Computes the history-XOR index once per event; the separate
+        # predict()/update() pair recomputed it twice.
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return bool(counter >= 2)
+
+    def replay_predictions(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        """Vectorized per-event predictions; trains table and history.
+
+        The history register before each event depends only on the
+        preceding outcomes, so the whole index stream is precomputed
+        and the counter chains replayed with the segmented scan.
+        """
+        history = history_stream(taken, self._history_bits, self._history)
+        indices = ((pcs >> 2) ^ history) & self._mask
+        predictions = two_bit_counter_replay(self._table, indices, taken)
+        self._history = final_history(
+            taken, self._history_bits, self._history
+        )
+        return predictions
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        predictions = self.replay_predictions(pcs, taken)
+        return int(np.count_nonzero(predictions != (taken != 0)))
 
     @property
     def storage_bits(self) -> int:

@@ -58,6 +58,61 @@ class PerceptronPredictor(BranchPredictor):
         self._history[1:] = self._history[:-1]
         self._history[0] = target
 
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        """Hoisted-loop replay over a precomputed ±1 history matrix.
+
+        The global-history row seen by each event depends only on the
+        preceding outcomes, so all n rows are built up front as one
+        strided view; events are then walked per weight-vector group,
+        with the per-event work reduced to a single int16 dot product
+        and a conditional clipped update (no register shifting, no
+        per-event indexing arithmetic).
+        """
+        n = int(pcs.size)
+        if n == 0:
+            return 0
+        h = len(self._history)
+        targets = np.where(taken != 0, 1, -1).astype(np.int16)
+        extended = np.concatenate([self._history[::-1], targets])
+        history_rows = np.flip(
+            np.lib.stride_tricks.sliding_window_view(extended, h)[:n], axis=1
+        )
+        indices = (pcs >> 2) & self._mask
+        order = np.argsort(indices, kind="stable")
+        group = indices[order].tolist()
+        order_list = order.tolist()
+        targets_list = targets.tolist()
+        weights = self._weights
+        theta = self._threshold
+        mispredicts = 0
+        last_output = self._last_output
+        last_event = n - 1
+        start = 0
+        while start < n:
+            index = group[start]
+            end = start + 1
+            while end < n and group[end] == index:
+                end += 1
+            row_weights = weights[index]
+            taps = row_weights[1:]
+            for at in order_list[start:end]:
+                history_row = history_rows[at]
+                output = int(row_weights[0]) + int(taps @ history_row)
+                target = targets_list[at]
+                actual = target > 0
+                predicted = output >= 0
+                if predicted != actual:
+                    mispredicts += 1
+                if predicted != actual or abs(output) <= theta:
+                    row_weights[0] = min(127, max(-128, int(row_weights[0]) + target))
+                    np.clip(taps + target * history_row, -128, 127, out=taps)
+                if at == last_event:
+                    last_output = output
+            start = end
+        self._history = extended[n : n + h][::-1].copy()
+        self._last_output = last_output
+        return mispredicts
+
     @property
     def storage_bits(self) -> int:
         return self._weights.size * 8 + len(self._history)

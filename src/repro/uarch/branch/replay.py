@@ -1,0 +1,201 @@
+"""Vectorized building blocks for columnar trace replay.
+
+The scalar predictor loop touches one table entry per event; replayed
+columnar, the same computation decomposes into classic data-parallel
+primitives:
+
+- **Saturating-counter scan** — a 2-bit (or any bounded) saturating
+  counter chain is a composition of clamp maps
+  ``f(x) = min(h, max(l, x + a))``.  These maps are closed under
+  composition, so a segmented Hillis–Steele scan over the events of
+  each table index yields every pre-update counter value (and thus
+  every prediction) in ``O(log n)`` vector passes — no per-event
+  Python at all.
+- **History streams** — gshare's global-history register before event
+  ``i`` is a function of the previous ``h`` outcomes only, so the full
+  index stream is ``h`` shifted adds.
+- **Folded-history streams** — TAGE's circular-shift-register fold is
+  multiplication by ``x`` in ``GF(2)[x]/(x^w + 1)``: after pushing the
+  last ``L`` outcomes, fold bit ``p`` is the XOR of the outcomes whose
+  age ``a`` (newest = 0) satisfies ``a ≡ p (mod w)``, ``a < L``.  Each
+  such strided-window XOR collapses to two gathers into a stride-``w``
+  prefix-XOR table, so whole fold/index/tag streams are precomputed in
+  a handful of vector passes per table (validated against the
+  from-scratch ``reference_fold`` used by ``repro validate``).
+
+Everything here is exact integer math — the bit-parity contract with
+the scalar predictors is asserted by tests and invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def saturating_counter_scan(
+    indices: np.ndarray,
+    deltas: np.ndarray,
+    init: np.ndarray,
+    low: int,
+    high: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay saturating counter chains grouped by table index.
+
+    Parameters
+    ----------
+    indices:
+        Per-event table index (int64, program order).
+    deltas:
+        Per-event counter delta before clamping (typically ±1; 0 is a
+        no-op update).
+    init:
+        Per-event initial counter value of that event's index (gather
+        of the table *before* the replay).
+    low, high:
+        Saturation bounds.
+
+    Returns ``(before, final_indices, final_values)``: the counter
+    value seen by each event *before* its own update (program order),
+    plus the post-stream value per distinct index for writing the
+    table back.
+    """
+    n = int(indices.size)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    order = np.argsort(indices, kind="stable")
+    group = indices[order]
+    # Per-element transform f(x) = min(h, max(l, x + a)).  Clamping a
+    # single step to [low, high] is exact because counter values never
+    # leave that range.
+    add = deltas[order].astype(np.int64)
+    lo = np.full(n, low, dtype=np.int64)
+    hi = np.full(n, high, dtype=np.int64)
+    # Segmented inclusive scan (Hillis–Steele): compose each transform
+    # with the one ``shift`` places earlier while both share an index.
+    # Sortedness makes the single equality test sufficient.
+    shift = 1
+    while shift < n:
+        same = group[shift:] == group[:-shift]
+        a1, l1, h1 = add[:-shift], lo[:-shift], hi[:-shift]
+        a2, l2, h2 = add[shift:], lo[shift:], hi[shift:]
+        composed_a = a1 + a2
+        composed_l = np.clip(l1 + a2, l2, h2)
+        composed_h = np.clip(h1 + a2, l2, h2)
+        add[shift:] = np.where(same, composed_a, a2)
+        lo[shift:] = np.where(same, composed_l, l2)
+        hi[shift:] = np.where(same, composed_h, h2)
+        shift <<= 1
+    init_sorted = init[order].astype(np.int64)
+    inclusive = np.minimum(hi, np.maximum(lo, init_sorted + add))
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    first[1:] = group[1:] != group[:-1]
+    before_sorted = np.empty(n, dtype=np.int64)
+    before_sorted[0] = init_sorted[0]
+    before_sorted[1:] = np.where(first[1:], init_sorted[1:], inclusive[:-1])
+    before = np.empty(n, dtype=np.int64)
+    before[order] = before_sorted
+    last = np.empty(n, dtype=bool)
+    last[-1] = True
+    last[:-1] = first[1:]
+    return before, group[last], inclusive[last]
+
+
+def two_bit_counter_replay(
+    table: np.ndarray, indices: np.ndarray, taken: np.ndarray
+) -> np.ndarray:
+    """Replay a 2-bit saturating counter table in place.
+
+    Returns the per-event predicted directions (bool, program order)
+    and scatters the post-stream counters back into ``table``.
+    """
+    deltas = np.where(taken != 0, 1, -1).astype(np.int64)
+    init = table[indices].astype(np.int64)
+    before, final_idx, final_val = saturating_counter_scan(
+        indices, deltas, init, 0, 3
+    )
+    table[final_idx] = final_val.astype(table.dtype)
+    return before >= 2
+
+
+def history_stream(
+    taken: np.ndarray, history_bits: int, initial_history: int
+) -> np.ndarray:
+    """Global-history register value *before* each event.
+
+    The register shifts in one outcome per event (newest at bit 0), so
+    the stream is ``history_bits`` shifted adds of the outcome column
+    plus the initial register draining out of the window.
+    """
+    n = int(taken.size)
+    bits = taken.astype(np.int64)
+    history = np.zeros(n, dtype=np.int64)
+    for age in range(1, history_bits + 1):
+        history[age:] += bits[: n - age] << (age - 1)
+    mask = (1 << history_bits) - 1
+    if initial_history:
+        drain = min(history_bits, n)
+        shifts = np.arange(drain, dtype=np.int64)
+        history[:drain] |= (initial_history << shifts) & mask
+    return history & mask
+
+
+def final_history(
+    taken: np.ndarray, history_bits: int, initial_history: int
+) -> int:
+    """Register value after the whole stream (for state write-back)."""
+    n = int(taken.size)
+    value = initial_history
+    tail = taken[max(0, n - history_bits):].tolist()
+    for bit in tail:
+        value = (value << 1) | (1 if bit else 0)
+    return value & ((1 << history_bits) - 1)
+
+
+def strided_prefix_xor(bits: np.ndarray, stride: int) -> np.ndarray:
+    """``out[j] = bits[j] ^ bits[j-stride] ^ bits[j-2*stride] ^ ...``"""
+    out = bits.copy()
+    shift = stride
+    n = int(out.size)
+    while shift < n:
+        out[shift:] ^= out[:-shift]
+        shift <<= 1
+    return out
+
+
+def fold_stream(taken: np.ndarray, length: int, width: int) -> np.ndarray:
+    """Folded-history register value before events ``0..n`` inclusive.
+
+    Element ``i`` is the fold of the (zero-padded) window of the last
+    ``length`` outcomes preceding event ``i``; element ``n`` is the
+    fold after the whole stream.  Matches ``reference_fold`` exactly.
+
+    Closed form: let ``X(i)`` be the fold of *all* outcomes before
+    event ``i`` (infinite window).  Bit ``p`` of ``X(i)`` XORs the
+    outcomes whose age ``≡ p (mod width)``, i.e. the stride-``width``
+    prefix-XOR evaluated at position ``i - 1 - p`` — so the whole
+    ``X`` stream is ``width`` shifted slices of one prefix table.
+    Dropping the outcomes older than ``length`` then rotates their
+    contribution by ``length mod width`` (ages shift uniformly):
+    ``fold(i) = X(i) ^ rotl(X(i - length), length mod width)`` —
+    a single whole-stream rotate instead of per-residue gathers.
+    """
+    n = int(taken.size)
+    if width <= 0 or length <= 0 or n == 0:
+        return np.zeros(n + 1, dtype=np.int64)
+    bits = taken.astype(np.int64)
+    prefix = strided_prefix_xor(bits, width)
+    infinite = np.zeros(n + 1, dtype=np.int64)
+    for p in range(min(width, n)):
+        infinite[p + 1 :] |= prefix[: n - p] << p
+    out = infinite
+    if n > length:
+        tail = infinite[: n + 1 - length]
+        shift = length % width
+        if shift:
+            mask = (1 << width) - 1
+            tail = ((tail << shift) | (tail >> (width - shift))) & mask
+        out = infinite.copy()
+        out[length:] ^= tail
+    return out

@@ -22,6 +22,7 @@ import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
+from .replay import fold_stream
 
 
 class _FoldedHistory:
@@ -208,6 +209,155 @@ class TagePredictor(BranchPredictor):
             self._fold_index[i].push(bit, outgoing)
             self._fold_tag0[i].push(bit, outgoing)
             self._fold_tag1[i].push(bit, outgoing)
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        """Columnar replay: precomputed fold/index/tag streams.
+
+        The folded-history registers (and hence every table index and
+        tag) depend only on the outcome stream, never on table state,
+        so all of them are computed up front with the closed-form
+        :func:`fold_stream`.  What remains per event — tag-match scan,
+        counter updates, allocation — is inherently sequential through
+        the tables, so it runs as a tight loop over plain Python lists
+        (no per-event NumPy indexing, fold pushing, or attribute
+        chasing).  Bit-parity with predict()/update() covers both the
+        mispredict count and all post-replay state.
+        """
+        n = int(pcs.size)
+        if n == 0:
+            return 0
+        num_tables = len(self._tables)
+        m = len(self._history)
+        full = np.concatenate(
+            [
+                np.array(self._history, dtype=np.uint8),
+                (taken != 0).astype(np.uint8),
+            ]
+        )
+        pcw = (pcs >> 2).astype(np.int64)
+        index_cols: list[list[int]] = []
+        tag_cols: list[list[int]] = []
+        final_folds: list[tuple[int, int, int]] = []
+        for i, table in enumerate(self._tables):
+            length = table.history_length
+            bits = self._index_bits[i]
+            fold_idx = fold_stream(full, length, bits)
+            fold_t0 = fold_stream(full, length, table.tag_bits)
+            fold_t1 = fold_stream(full, length, table.tag_bits - 1)
+            mask = (1 << bits) - 1
+            tag_mask = (1 << table.tag_bits) - 1
+            idx = (pcw ^ (pcw >> bits) ^ fold_idx[m : m + n]) & mask
+            tag = (pcw ^ fold_t0[m : m + n] ^ (fold_t1[m : m + n] << 1)) & tag_mask
+            index_cols.append(idx.tolist())
+            tag_cols.append(tag.tolist())
+            final_folds.append(
+                (int(fold_idx[m + n]), int(fold_t0[m + n]), int(fold_t1[m + n]))
+            )
+        base = self._base.tolist()
+        ctr = [t.tolist() for t in self._ctr]
+        tag_tables = [t.tolist() for t in self._tag]
+        useful = [t.tolist() for t in self._useful]
+        base_idx = (pcw & self._base_mask).tolist()
+        outcomes = (taken != 0).tolist()
+        use_alt = self._use_alt
+        mispredicts = 0
+        last_table = num_tables - 1
+        pred = self._pred if hasattr(self, "_pred") else False
+        alt_pred = pred
+        hit = -1
+        alt = -1
+        for k in range(n):
+            taken_k = outcomes[k]
+            hit = -1
+            alt = -1
+            i = last_table
+            while i >= 0:
+                if tag_tables[i][index_cols[i][k]] == tag_cols[i][k]:
+                    if hit < 0:
+                        hit = i
+                    else:
+                        alt = i
+                        break
+                i -= 1
+            if hit < 0:
+                pred = base[base_idx[k]] >= 2
+                alt_pred = pred
+            else:
+                hit_index = index_cols[hit][k]
+                counter = ctr[hit][hit_index]
+                if alt >= 0:
+                    alt_pred = ctr[alt][index_cols[alt][k]] >= 0
+                else:
+                    alt_pred = base[base_idx[k]] >= 2
+                if use_alt >= 8 and (counter == -1 or counter == 0):
+                    pred = alt_pred
+                else:
+                    pred = counter >= 0
+            if pred != taken_k:
+                mispredicts += 1
+            if hit >= 0:
+                hit_index = index_cols[hit][k]
+                counter = ctr[hit][hit_index]
+                if (counter == -1 or counter == 0) and pred != alt_pred:
+                    correct_main = (counter >= 0) == taken_k
+                    if correct_main and use_alt > 0:
+                        use_alt -= 1
+                    elif not correct_main and use_alt < 15:
+                        use_alt += 1
+                if taken_k:
+                    if counter < 3:
+                        ctr[hit][hit_index] = counter + 1
+                elif counter > -4:
+                    ctr[hit][hit_index] = counter - 1
+                if pred != alt_pred:
+                    u = useful[hit][hit_index]
+                    if pred == taken_k and u < 3:
+                        useful[hit][hit_index] = u + 1
+                    elif pred != taken_k and u > 0:
+                        useful[hit][hit_index] = u - 1
+            else:
+                b_index = base_idx[k]
+                counter = base[b_index]
+                if taken_k:
+                    if counter < 3:
+                        base[b_index] = counter + 1
+                elif counter > 0:
+                    base[b_index] = counter - 1
+            if pred != taken_k and hit < last_table:
+                allocated = False
+                for i in range(hit + 1, num_tables):
+                    a_index = index_cols[i][k]
+                    if useful[i][a_index] == 0:
+                        tag_tables[i][a_index] = tag_cols[i][k]
+                        ctr[i][a_index] = 0 if taken_k else -1
+                        allocated = True
+                        break
+                if not allocated:
+                    for i in range(hit + 1, num_tables):
+                        a_index = index_cols[i][k]
+                        if useful[i][a_index] > 0:
+                            useful[i][a_index] -= 1
+        # State write-back: tables, folds, history window and the
+        # per-prediction scratch the scalar pair would have left behind.
+        self._use_alt = use_alt
+        self._base[:] = base
+        for i in range(num_tables):
+            self._ctr[i][:] = ctr[i]
+            self._tag[i][:] = tag_tables[i]
+            self._useful[i][:] = useful[i]
+            fi_v, f0_v, f1_v = final_folds[i]
+            self._fold_index[i].value = fi_v
+            self._fold_tag0[i].value = f0_v
+            self._fold_tag1[i].value = f1_v
+            self._indices[i] = index_cols[i][n - 1]
+            self._tags[i] = tag_cols[i][n - 1]
+        keep = self._max_history + 1
+        self._history = full[max(0, int(full.size) - keep) :].tolist()
+        self._hit = hit
+        self._alt = alt
+        self._pred = pred
+        self._alt_pred = alt_pred
+        return mispredicts
 
     def _outgoing_bit(self, length: int) -> int:
         """Outcome leaving a ``length``-bit history window, zero-filled.

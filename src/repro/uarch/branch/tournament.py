@@ -13,6 +13,7 @@ from ...errors import SimulationError
 from .base import BranchPredictor
 from .bimodal import BimodalPredictor
 from .gshare import GsharePredictor
+from .replay import saturating_counter_scan
 
 
 class TournamentPredictor(BranchPredictor):
@@ -53,6 +54,32 @@ class TournamentPredictor(BranchPredictor):
         self._bimodal.update(pc, taken)
         self._gshare.update(pc, taken)
         self._last = None
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        """Vectorized replay: component prediction streams + chooser scan.
+
+        Both components replay their own counter chains; the chooser is
+        another saturating-counter scan whose per-event delta is fully
+        determined by the (precomputed) component predictions — +1 when
+        gshare alone is right, -1 when bimodal alone is, 0 on agreement.
+        """
+        outcomes = taken != 0
+        bimodal = self._bimodal.replay_predictions(pcs, taken)
+        gshare = self._gshare.replay_predictions(pcs, taken)
+        indices = (pcs >> 2) & self._chooser_mask
+        deltas = np.where(
+            bimodal == gshare,
+            0,
+            np.where(gshare == outcomes, 1, -1),
+        ).astype(np.int64)
+        init = self._chooser[indices].astype(np.int64)
+        before, final_idx, final_val = saturating_counter_scan(
+            indices, deltas, init, 0, 3
+        )
+        self._chooser[final_idx] = final_val.astype(self._chooser.dtype)
+        predictions = np.where(before >= 2, gshare, bimodal)
+        self._last = None
+        return int(np.count_nonzero(predictions != outcomes))
 
     @property
     def storage_bits(self) -> int:

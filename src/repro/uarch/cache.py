@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import kernels
 from ..errors import SimulationError
 from ..trace.instrument import LINE_BYTES, Instrumenter
 
@@ -100,7 +101,15 @@ class Cache:
         magnitude cheaper than per-element numpy scalar handling.  The
         returned misses preserve stream order, which is what lets the
         hierarchy cascade a batch level-by-level with identical stats.
+
+        On the vectorized-kernels path the per-set recency state is
+        walked as insertion-ordered dicts (O(1) lookup/move-to-front)
+        instead of MRU-first lists (O(ways) ``list.index``); both walks
+        implement true LRU, so hits, misses and final contents are
+        identical (DESIGN.md "Kernel architecture").
         """
+        if kernels.vectorized_enabled():
+            return self._access_batch_fast(lines)
         count = int(lines.size)
         self.accesses += count
         if not count:
@@ -126,6 +135,182 @@ class Cache:
                 ways.pop(pos)
                 ways.insert(0, tag)
         self.misses += len(miss_positions)
+        return lines[miss_positions]
+
+    def _access_batch_fast(self, lines: np.ndarray) -> np.ndarray:
+        """Stack-distance LRU classification: no sequential walk at all.
+
+        Under true LRU an access hits iff fewer than ``ways`` distinct
+        tags touched its set since the tag's previous access (its stack
+        distance), and the final contents of a set are exactly the
+        ``ways`` most recently used distinct tags — so both outcomes
+        and state are pure functions of the access history and every
+        access can be classified independently, in vector form:
+
+        1. partition the stream by set (stable radix argsort) and
+           prepend each set's current contents as a virtual prefix so
+           warm state participates in distances;
+        2. link each access to its previous same-tag occurrence (a tag
+           determines its set, so one stable sort by tag yields all
+           per-(set, tag) chains);
+        3. classify: gap ``<= ways`` is a guaranteed hit; a distinct
+           count ``>= ways`` over any subwindow of the reuse window is
+           a guaranteed miss (subwindow distinct counts come from two
+           prefix sums over checkpoint-aligned indicators); short
+           windows are counted exactly by a small shifted-comparison
+           loop; the rare leftovers get exact per-access counts.
+
+        Hits, misses, stream-ordered miss traffic and final contents
+        are bit-identical to the scalar walk (DESIGN.md "Kernel
+        architecture"); a randomized invariant pins this.
+        """
+        count = int(lines.size)
+        self.accesses += count
+        if not count:
+            return lines
+        capacity = self.config.ways
+        sets = self._sets
+        # Narrow to 32-bit when the tags fit: stable integer argsort is
+        # a radix sort, so half-width keys halve its passes, and every
+        # later elementwise op moves half the memory.
+        narrow = count < 2**31 and 0 <= int(lines.min()) and int(
+            lines.max()
+        ) < 2**31
+        work = lines.astype(np.int32) if narrow and lines.dtype != np.int32 \
+            else lines
+        posdtype = np.int32 if narrow else np.int64
+        idx = work & self._set_mask
+        # uint16 sort keys when the set count allows: two radix passes
+        # instead of four on the hottest sort in the classifier.
+        sort_keys = idx.astype(np.uint16) if self._set_mask < 2**16 else idx
+        order = np.argsort(sort_keys, kind="stable")
+        si = idx[order]
+        st = work[order]
+        # Run collapse: an access repeating the immediately preceding
+        # access to the same set is a guaranteed MRU hit with no state
+        # effect and no downstream traffic — droppable exactly (a tag
+        # determines its set, so equal adjacent tags are the same set).
+        keep = np.empty(count, dtype=bool)
+        keep[0] = True
+        keep[1:] = st[1:] != st[:-1]
+        if not keep.all():
+            si = si[keep]
+            st = st[keep]
+            order = order[keep]
+        n = int(st.size)
+        # Virtual warm-state prefix: each batch-present set's contents,
+        # LRU-first, inserted ahead of its segment so that recency and
+        # reuse distances continue across batches.
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        change[1:] = si[1:] != si[:-1]
+        seg_starts = np.flatnonzero(change)
+        seg_sets = si[seg_starts].tolist()
+        state_lists = [sets[s] for s in seg_sets]
+        state_lens = np.array([len(x) for x in state_lists], dtype=np.int64)
+        total_virtual = int(state_lens.sum())
+        if total_virtual:
+            insert_at = np.repeat(seg_starts, state_lens)
+            vtags = np.fromiter(
+                (t for x in state_lists for t in reversed(x)),
+                dtype=st.dtype,
+                count=total_virtual,
+            )
+            st2 = np.insert(st, insert_at, vtags)
+            si2 = np.insert(si, insert_at, np.repeat(seg_sets, state_lens))
+            orig = np.insert(order, insert_at, -1)
+        else:
+            st2, si2, orig = st, si, order
+        n2 = int(st2.size)
+        pos = np.arange(n2, dtype=posdtype)
+        # Previous same-tag occurrence (the tag fixes the set, so one
+        # stable sort groups every per-(set, tag) chain in order).
+        to = np.argsort(st2, kind="stable").astype(posdtype, copy=False)
+        t_sorted = st2[to]
+        same = t_sorted[1:] == t_sorted[:-1]
+        link_src = to[:-1][same]
+        link_dst = to[1:][same]
+        q = np.full(n2, -1, dtype=posdtype)
+        q[link_dst] = link_src
+        gap = pos - q
+        seen = q >= 0
+        hit = seen & (gap <= capacity)
+        unresolved = seen & ~hit
+        delta = 1 << max(4, (2 * capacity - 1).bit_length())
+        if unresolved.any():
+            # Checkpoint subwindows: for i in block k (width delta) the
+            # subwindow [tau, i) with tau = (k-1)*delta lies inside the
+            # reuse window whenever q_i < tau, and its distinct count is
+            # the number of j in it with q_j < tau — split at the block
+            # boundary into two prefix-summable indicators.
+            blockstart = pos & ~(delta - 1)
+            tau = blockstart - delta
+            prefix_a = np.empty(n2 + 1, dtype=posdtype)
+            prefix_a[0] = 0
+            np.cumsum(q < blockstart, out=prefix_a[1:])
+            prefix_b = np.empty(n2 + 1, dtype=posdtype)
+            prefix_b[0] = 0
+            np.cumsum(q < tau, out=prefix_b[1:])
+            tau0 = np.maximum(tau, 0)
+            distinct = (prefix_a[blockstart] - prefix_a[tau0]) + (
+                prefix_b[:-1] - prefix_b[blockstart]
+            )
+            proved_miss = (q < tau) & (distinct >= capacity)
+            unresolved &= ~proved_miss
+        u = np.flatnonzero(unresolved)
+        for window in (2 * delta, 16 * delta):
+            if not u.size:
+                break
+            max_exact = gap[u] - 1
+            m = np.minimum(max_exact, window)
+            wstart = u - m
+            distinct = np.zeros(u.size, dtype=np.int64)
+            for o in range(1, window + 1):
+                j = u - o
+                np.add(
+                    distinct,
+                    (o <= m) & (q[np.maximum(j, 0)] < wstart),
+                    out=distinct,
+                    casting="unsafe",
+                )
+            exact = m == max_exact
+            newly_hit = exact & (distinct < capacity)
+            hit[u[newly_hit]] = True
+            u = u[~(newly_hit | (distinct >= capacity))]
+        for i in u.tolist():
+            qi = q[i]
+            if int(np.count_nonzero(q[qi + 1 : i] <= qi)) < capacity:
+                hit[i] = True
+        # Misses of real accesses, restored to stream order by scatter.
+        miss_mask = ~hit
+        if total_virtual:
+            miss_mask &= orig >= 0
+        miss_scatter = np.zeros(count, dtype=bool)
+        miss_scatter[orig[miss_mask]] = True
+        miss_positions = np.flatnonzero(miss_scatter)
+        self.misses += int(miss_positions.size)
+        # Final contents: per set, the `capacity` most recently used
+        # distinct tags, MRU-first.
+        last_occurrence = np.ones(n2, dtype=bool)
+        last_occurrence[link_src] = False
+        lp = np.flatnonzero(last_occurrence)
+        lsets = si2[lp]
+        group_change = np.empty(lp.size, dtype=bool)
+        group_change[0] = True
+        group_change[1:] = lsets[1:] != lsets[:-1]
+        group_starts = np.flatnonzero(group_change)
+        group_ends = np.append(group_starts[1:], lp.size)
+        group_sets = lsets[group_starts].tolist()
+        last_tags = st2[lp].tolist()
+        for set_id, g_start, g_end in zip(
+            group_sets, group_starts.tolist(), group_ends.tolist()
+        ):
+            lo = g_end - capacity
+            if lo < g_start:
+                lo = g_start
+            sets[set_id] = last_tags[lo:g_end][::-1]
+        if not miss_positions.size:
+            return lines[:0]
         return lines[miss_positions]
 
     @property
@@ -264,17 +449,17 @@ def expand_touches(
     pitches = np.asarray(pitches, dtype=np.int64)
     repeats = np.asarray(repeats, dtype=np.int64)
 
-    # Stage 1 — expand touches to rows.  ``grouped_arange`` below is
-    # the standard repeat/offset trick: arange over the total, minus
-    # each group's start offset, gives 0..len-1 within every group.
+    # Stage 1 — expand touches to rows.  ``arange - offsets[group]``
+    # is the standard grouped-arange trick: arange over the total,
+    # minus each group's start offset, gives 0..len-1 within every
+    # group.
     total_rows = int(rows.sum())
     if total_rows == 0:
         return np.empty(0, dtype=np.int64)
     row_touch = np.repeat(np.arange(touches, dtype=np.int64), rows)
     row_offsets = np.concatenate(([0], np.cumsum(rows)[:-1]))
     row_local = (
-        np.arange(total_rows, dtype=np.int64)
-        - np.repeat(row_offsets, rows)
+        np.arange(total_rows, dtype=np.int64) - row_offsets[row_touch]
     )
     row_starts = bases[row_touch] + pitches[row_touch] * row_local
     first_line = row_starts // line_bytes
@@ -282,29 +467,43 @@ def expand_touches(
         row_starts + np.maximum(row_bytes[row_touch] - 1, 0)
     ) // line_bytes
 
-    # Stage 2 — expand rows to cache lines, in row order within each
-    # touch and line order within each row (the scalar walk's order).
-    lines_in_row = last_line - first_line + 1
-    total_lines = int(lines_in_row.sum())
-    line_row = np.repeat(np.arange(total_rows, dtype=np.int64), lines_in_row)
-    line_offsets = np.concatenate(([0], np.cumsum(lines_in_row)[:-1]))
-    line_local = (
-        np.arange(total_lines, dtype=np.int64)
-        - np.repeat(line_offsets, lines_in_row)
-    )
-    flat = first_line[line_row] + line_local
-
-    # Set sampling, tracking how many sampled lines each touch kept.
-    sampled_mask = (flat % sample_period) == 0
-    blocks = flat[sampled_mask]
-    block_len = np.bincount(
-        row_touch[line_row[sampled_mask]], minlength=touches
-    )
+    # Stage 2 — emit each row's *sampled* lines directly.  A row
+    # covers lines ``[first_line, last_line]``; the survivors of
+    # 1-in-``sample_period`` sampling are the multiples of the period
+    # inside that range, an arithmetic sequence whose start and count
+    # close-form from the endpoints.  Materializing only those (rather
+    # than all lines followed by a mask) keeps every temporary at the
+    # sampled size.  The stream itself comes from one cumulative sum
+    # over per-element steps: ``sample_period`` inside a row, and a
+    # rebased jump at each row boundary — identical ordering to the
+    # scalar walk (rows in touch order, lines ascending within a row).
+    first_sampled = (first_line + sample_period - 1) // sample_period
+    sampled_in_row = np.maximum(last_line // sample_period - first_sampled + 1, 0)
+    first_sampled *= sample_period
+    total_sampled = int(sampled_in_row.sum())
+    if total_sampled == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = sampled_in_row > 0
+    kept_first = first_sampled[keep]
+    kept_count = sampled_in_row[keep]
+    kept_starts = np.concatenate(([0], np.cumsum(kept_count)[:-1]))
+    steps = np.full(total_sampled, sample_period, dtype=np.int64)
+    kept_last = kept_first + sample_period * (kept_count - 1)
+    steps[0] = kept_first[0]
+    steps[kept_starts[1:]] = kept_first[1:] - kept_last[:-1]
+    blocks = np.cumsum(steps)
 
     # Stage 3 — apply ``repeats`` as whole-block tiling: each touch's
     # sampled block appears ``repeats`` times *consecutively* (the
     # stream order of the original per-touch append loop), which plain
-    # ``np.repeat`` on elements would not preserve.
+    # ``np.repeat`` on elements would not preserve.  Streaming kernels
+    # overwhelmingly record single-pass touches, so the no-op tiling
+    # case returns the stream as built.
+    if np.all(repeats == 1):
+        return blocks
+    block_len = np.bincount(
+        row_touch[keep], weights=sampled_in_row[keep], minlength=touches
+    ).astype(np.int64)
     out_len = block_len * repeats
     total_out = int(out_len.sum())
     if total_out == 0:
@@ -312,8 +511,7 @@ def expand_touches(
     out_touch = np.repeat(np.arange(touches, dtype=np.int64), out_len)
     out_offsets = np.concatenate(([0], np.cumsum(out_len)[:-1]))
     out_local = (
-        np.arange(total_out, dtype=np.int64)
-        - np.repeat(out_offsets, out_len)
+        np.arange(total_out, dtype=np.int64) - out_offsets[out_touch]
     )
     block_starts = np.concatenate(([0], np.cumsum(block_len)[:-1]))
     source = (

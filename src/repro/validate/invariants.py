@@ -11,8 +11,13 @@ inputs:
 - **cache-level-cascade** — each cache level's access count equals
   the previous level's miss count, exactly, and the sampled stats
   scale coherently.
-- **cache-batch-scalar-parity** — the vectorized batch path and the
-  scalar per-line path produce bit-identical hit/miss statistics.
+- **cache-batch-scalar-parity** — the vectorized batch classifier and
+  the scalar per-line walk produce bit-identical hit/miss statistics,
+  miss traffic, and final cache contents.
+- **replay-scalar-parity** — every predictor's columnar
+  :meth:`~repro.uarch.branch.base.BranchPredictor.replay` kernel
+  matches the scalar predict/update loop: same mispredict count and
+  indistinguishable post-replay state.
 - **predictor-replay-determinism** — replaying one branch stream on
   two fresh instances of any predictor yields identical predictions.
 - **tage-fold-reference** — TAGE's incrementally folded history
@@ -31,14 +36,16 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..errors import SimulationError, ValidationError
 from ..obs.context import current_obs
 from ..obs.span import trace_span
 from ..uarch.branch.bimodal import BimodalPredictor
 from ..uarch.branch.gshare import gshare_2kb
+from ..uarch.branch.perceptron import PerceptronPredictor
 from ..uarch.branch.tage import TagePredictor, tage_8kb
 from ..uarch.branch.tournament import TournamentPredictor
-from ..uarch.cache import CacheConfig, CacheHierarchy
+from ..uarch.cache import Cache, CacheConfig, CacheHierarchy
 from ..uarch.topdown import classify_slots
 from ..parallel.scaling import topdown_with_threads
 
@@ -185,9 +192,11 @@ def _cache_batch_scalar_parity(
     lines = _random_lines(rng)
     batched = _small_hierarchy()
     scalar = _small_hierarchy()
-    batched.access_lines(lines)
-    for line in lines.tolist():
-        scalar.access_line(line)
+    with kernels.vectorized_kernels():
+        batched.access_lines(lines)
+    with kernels.scalar_kernels():
+        for line in lines.tolist():
+            scalar.access_line(line)
     for name in ("l1d", "l2", "llc"):
         a, b = getattr(batched, name), getattr(scalar, name)
         if (a.accesses, a.misses) != (b.accesses, b.misses):
@@ -195,6 +204,34 @@ def _cache_batch_scalar_parity(
                 f"case {case}: {name} batch ({a.accesses}, {a.misses}) != "
                 f"scalar ({b.accesses}, {b.misses})"
             )
+        if a._sets != b._sets:
+            failures.append(
+                f"case {case}: {name} final contents diverge between "
+                "batch and scalar paths"
+            )
+    # One level, multiple batches: the classifier's stream-ordered miss
+    # traffic and carried warm state must match the scalar walk.
+    ways = int(rng.integers(1, 5))
+    nsets = 1 << int(rng.integers(0, 5))
+    config = CacheConfig("parity", nsets * ways * 64, ways)
+    vec_cache, ref_cache = Cache(config), Cache(config)
+    for _ in range(int(rng.integers(1, 4))):
+        batch = _random_lines(rng)
+        with kernels.vectorized_kernels():
+            vec_miss = vec_cache.access_batch(batch)
+        with kernels.scalar_kernels():
+            ref_miss = ref_cache.access_batch(batch)
+        if not np.array_equal(vec_miss, ref_miss):
+            failures.append(
+                f"case {case}: classifier miss traffic diverges from the "
+                "scalar walk"
+            )
+            break
+    if vec_cache._sets != ref_cache._sets:
+        failures.append(
+            f"case {case}: classifier final contents diverge from the "
+            "scalar walk"
+        )
     return failures
 
 
@@ -219,6 +256,47 @@ def _random_branch_stream(
         (int(pcs[which]), bool(outcomes[at] < bias[which]))
         for at, which in enumerate(choices.tolist())
     ]
+
+
+#: Predictor factories the replay/scalar parity invariant covers (one
+#: of each vectorized replay kernel family).
+REPLAY_PARITY_FACTORIES: tuple[Callable[[], Any], ...] = (
+    BimodalPredictor,
+    gshare_2kb,
+    TournamentPredictor,
+    PerceptronPredictor,
+    tage_8kb,
+)
+
+
+def _replay_scalar_parity(rng: np.random.Generator, case: int) -> list[str]:
+    failures: list[str] = []
+    stream = _random_branch_stream(rng)
+    pcs = np.array([pc for pc, _ in stream], dtype=np.int64)
+    taken = np.array([t for _, t in stream], dtype=np.uint8)
+    probe = _random_branch_stream(rng, count=100)
+    for factory in REPLAY_PARITY_FACTORIES:
+        fast, ref = factory(), factory()
+        mispredicts = 0
+        for pc, outcome in stream:
+            if ref.predict_update(pc, outcome) != outcome:
+                mispredicts += 1
+        if int(fast.replay(pcs, taken)) != mispredicts:
+            failures.append(
+                f"case {case}: {fast.name} replay mispredicts != scalar"
+            )
+            continue
+        # Post-replay state: a shared probe stream must be predicted
+        # identically by the replayed and the scalar-trained instance.
+        for pc, outcome in probe:
+            if fast.predict_update(pc, outcome) != ref.predict_update(
+                pc, outcome
+            ):
+                failures.append(
+                    f"case {case}: {fast.name} post-replay state diverged"
+                )
+                break
+    return failures
 
 
 def _predictor_replay(rng: np.random.Generator, case: int) -> list[str]:
@@ -296,8 +374,14 @@ INVARIANTS: dict[str, tuple[str, Callable[[np.random.Generator, int], list[str]]
         _cache_level_cascade,
     ),
     "cache-batch-scalar-parity": (
-        "Batch and scalar cache-simulation paths stay bit-identical.",
+        "Batch and scalar cache-simulation paths stay bit-identical: "
+        "counters, miss traffic, and final contents.",
         _cache_batch_scalar_parity,
+    ),
+    "replay-scalar-parity": (
+        "Vectorized predictor replay kernels match the scalar "
+        "predict/update loop, counts and state.",
+        _replay_scalar_parity,
     ),
     "predictor-replay-determinism": (
         "Every branch predictor is deterministic under trace replay.",
