@@ -6,14 +6,18 @@ Times three fig04 CRF-sweep regenerations end-to-end:
   of publishing every cell to the cache);
 - **warm** — serial re-run against the populated cache (every cell a
   hit; must be ≥5× faster than cold);
-- **parallel** — pooled, no cache (must be ≥2× faster than cold on a
-  ≥4-core runner; skipped on smaller machines where a process pool
-  cannot beat the serial loop).
+- **parallel** — pooled, no cache.  The CRF grid is scaled to the
+  detected core count so every worker gets several cells and pool
+  startup amortises; the pooled timing is therefore *always* measured
+  and recorded, even on small runners.  The ≥2× speedup floor is only
+  asserted on ≥4-core machines — on 1–2 cores a process pool cannot
+  beat the serial loop, but the recorded number still tracks the
+  dispatch overhead across PRs.
 
 The measured timings are written to ``BENCH_sweep.json`` at the repo
-root so future PRs have a perf baseline to compare against; a skipped
-parallel run is recorded with an explicit ``"skipped"`` reason rather
-than a bare ``null``.
+root so future PRs have a perf baseline to compare against; a
+floor-check skipped for lack of cores is recorded with an explicit
+``"floor_skipped"`` reason rather than a bare ``null``.
 """
 
 import json
@@ -22,14 +26,33 @@ import time
 
 import pytest
 
-from repro.experiments import run_experiment
+from repro.experiments import common, fig04_crf_sweep, run_experiment
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
                           "BENCH_sweep.json")
 
-POOL_WORKERS = 4
 WARM_SPEEDUP_FLOOR = 5.0
 POOL_SPEEDUP_FLOOR = 2.0
+#: Cores below which the pool cannot be expected to beat serial.
+POOL_FLOOR_CORES = 4
+
+
+def _pool_workers(cores: int) -> int:
+    return min(4, max(2, cores))
+
+
+def _crf_grid(workers: int) -> tuple[int, ...]:
+    """A CRF grid with ~3 cells per worker (per video).
+
+    The fast-mode grid is 3 CRF points; on wider machines that leaves
+    workers idle and the pooled timing dominated by startup.  Spread
+    enough points over the paper's 10–60 CRF range that every worker
+    stays busy.
+    """
+    points = max(3, 3 * workers // 2)
+    lo, hi = 10, 60
+    step = (hi - lo) / (points - 1)
+    return tuple(int(round(lo + i * step)) for i in range(points))
 
 
 def _timed(**kwargs):
@@ -38,47 +61,47 @@ def _timed(**kwargs):
     return time.perf_counter() - start, result
 
 
-def test_sweep_speedups(tmp_path):
+def test_sweep_speedups(tmp_path, monkeypatch):
     cache_dir = str(tmp_path / "cache")
+    cores = os.cpu_count() or 1
+    workers = _pool_workers(cores)
+    grid = _crf_grid(workers)
+    # fig04 imported sweep_crfs by name; patch both bindings.  Pool
+    # workers fork after the patch, so they inherit the scaled grid.
+    monkeypatch.setattr(common, "sweep_crfs", lambda: grid)
+    monkeypatch.setattr(fig04_crf_sweep, "sweep_crfs", lambda: grid)
 
     cold_seconds, cold = _timed(cache_dir=cache_dir)
     warm_seconds, warm = _timed(cache_dir=cache_dir)
     assert warm.tables == cold.tables
     assert warm.series == cold.series
 
-    cells = len(cold.tables[0].rows)
-    parallel_seconds = None
-    skipped = None
-    cores = os.cpu_count() or 1
-    if cores >= POOL_WORKERS:
-        parallel_seconds, pooled = _timed(workers=POOL_WORKERS)
-        assert pooled.tables == cold.tables
-        assert pooled.series == cold.series
-    else:
-        skipped = (
-            f"parallel timing needs >= {POOL_WORKERS} cores (have {cores})"
+    parallel_seconds, pooled = _timed(workers=workers)
+    assert pooled.tables == cold.tables
+    assert pooled.series == cold.series
+
+    floor_skipped = None
+    if cores < POOL_FLOOR_CORES:
+        floor_skipped = (
+            f"pool speedup floor needs >= {POOL_FLOOR_CORES} cores "
+            f"(have {cores}); pooled timing recorded anyway"
         )
-        print(f"BENCH_sweep: {skipped}")
+        print(f"BENCH_sweep: {floor_skipped}")
 
     payload = {
         "experiment": "fig04",
-        "cells": cells,
+        "cells": len(cold.tables[0].rows),
         "cores": cores,
-        "workers": POOL_WORKERS,
+        "workers": workers,
+        "crf_points": len(grid),
         "cold_seconds": round(cold_seconds, 3),
         "warm_seconds": round(warm_seconds, 3),
-        "parallel_seconds": (
-            None if parallel_seconds is None else round(parallel_seconds, 3)
-        ),
+        "parallel_seconds": round(parallel_seconds, 3),
         "warm_speedup": round(cold_seconds / warm_seconds, 2),
-        "parallel_speedup": (
-            None
-            if parallel_seconds is None
-            else round(cold_seconds / parallel_seconds, 2)
-        ),
-        # Distinguishes "not run" (with the reason) from "ran and
-        # failed" in the recorded trajectory.
-        "skipped": skipped,
+        "parallel_speedup": round(cold_seconds / parallel_seconds, 2),
+        # Distinguishes "floor not asserted" (with the reason) from
+        # "asserted and passed" in the recorded trajectory.
+        "floor_skipped": floor_skipped,
     }
     with open(BENCH_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
@@ -88,8 +111,8 @@ def test_sweep_speedups(tmp_path):
         f"warm cache run only {cold_seconds / warm_seconds:.1f}x faster "
         f"({warm_seconds:.2f}s vs {cold_seconds:.2f}s cold)"
     )
-    if parallel_seconds is None:
-        pytest.skip(f"{skipped}; timings written with the skip reason")
+    if floor_skipped is not None:
+        pytest.skip(f"{floor_skipped}; timings written with the reason")
     assert cold_seconds >= parallel_seconds * POOL_SPEEDUP_FLOOR, (
         f"pooled run only {cold_seconds / parallel_seconds:.1f}x faster "
         f"({parallel_seconds:.2f}s vs {cold_seconds:.2f}s serial)"

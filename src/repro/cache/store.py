@@ -24,6 +24,7 @@ from typing import Any
 
 from ..errors import CacheError
 from ..obs.context import record_metric
+from ..resilience.faults import fault_point
 from .keys import CACHE_SCHEMA_VERSION
 
 #: Environment override for the default cache location.
@@ -64,6 +65,10 @@ class ResultCache:
         """
         path = self._path(key)
         try:
+            # Injectable read-side disk fault (an ``enospc``/EIO-class
+            # OSError lands in the invalidate branch below, preserving
+            # the never-raise contract under injection too).
+            fault_point(f"cache:get:{key[:12]}")
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
@@ -113,6 +118,9 @@ class ResultCache:
             "payload": payload,
         }
         try:
+            # Injectable write-side disk fault (ENOSPC on publish must
+            # not fail the cell — it is a counted non-write).
+            fault_point(f"cache:put:{key[:12]}")
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)

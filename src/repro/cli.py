@@ -30,7 +30,7 @@ from typing import Sequence
 from .cache import ResultCache, default_cache_dir
 from .codecs import encoder_names
 from .core import characterize, format_result
-from .errors import ObservabilityError, ReproError
+from .errors import ObservabilityError, ReproError, SweepInterruptedError
 from .experiments import experiment_ids, run_experiment
 from .obs import events as obs_events
 from .obs.export import (
@@ -131,6 +131,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "PATH (default: REPRO_CACHE_DIR, else disabled)",
     )
     experiment.add_argument(
+        "--heartbeat-interval", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="seconds between pool-worker heartbeats; a lease missing "
+             "beats past the stall deadline gets its worker killed and "
+             "its cell re-dispatched (default: "
+             "REPRO_HEARTBEAT_INTERVAL, else 0.5)",
+    )
+    experiment.add_argument(
+        "--max-worker-restarts", type=_nonnegative_int, default=None,
+        metavar="N",
+        help="pool rebuilds tolerated per sweep after worker crashes "
+             "(default: REPRO_MAX_WORKER_RESTARTS, else 12)",
+    )
+    experiment.add_argument(
         "--validate", action="store_true",
         help="evaluate the paper claims registered for this experiment "
              "and record the verdicts in provenance[\"claims\"]",
@@ -225,6 +239,9 @@ def _run_validate_command(args: argparse.Namespace) -> int:
         )
         if args.out is not None:
             write_report(args.out, report)
+    except SweepInterruptedError as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -315,8 +332,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 span_log=args.span_log,
                 workers=args.workers,
                 cache_dir=args.cache_dir,
+                heartbeat_interval=args.heartbeat_interval,
+                max_worker_restarts=args.max_worker_restarts,
                 validate_claims=args.validate,
             )
+        except SweepInterruptedError as exc:
+            # Graceful drain: state is flushed and resumable; exit with
+            # the conventional interrupted-by-signal code.
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 130
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

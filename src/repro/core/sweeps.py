@@ -11,7 +11,11 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, TypeVar
 
 from ..codecs import SPECS
-from ..errors import ExperimentError, QuarantinedCellError
+from ..errors import (
+    ExperimentError,
+    QuarantinedCellError,
+    SweepInterruptedError,
+)
 from ..obs.span import trace_span
 from ..parallel.scaling import ScalingCurve, thread_scaling, topdown_with_threads
 from ..uarch.perfcounters import PerfReport
@@ -41,9 +45,20 @@ def sweep_cells(
     work is kept.  Without a resilient session no cell ever raises it,
     so plain sweeps behave exactly as before.
     """
+    from ..parallel.supervise import drain_requested
+
     kept_points: list[_P] = []
     kept_results: list[_R] = []
+    points = list(points)
     for index, point in enumerate(points):
+        signame = drain_requested()
+        if signame is not None:
+            # A drain request stops the run *between* cells: what
+            # finished is already in the ledger, what did not will be
+            # re-run by --resume.
+            raise SweepInterruptedError(
+                signame, completed=index, total=len(points)
+            )
         try:
             with trace_span("sweep.cell", point=str(point), index=index):
                 result = run(point)

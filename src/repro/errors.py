@@ -81,6 +81,45 @@ class QuarantinedCellError(ReproError):
         self.cause = cause
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker died while holding a cell's lease.
+
+    Raised (as the ``cause`` of a :class:`QuarantinedCellError`) when a
+    cell crashes its worker process more than the crash budget allows —
+    SIGKILL, ``os._exit``, OOM, or a hang past the heartbeat deadline.
+    Counted separately from in-process retries: a crash tears down the
+    whole worker, so the supervisor tracks it per *cell*, not per
+    attempt, and classifies repeat offenders as poison.
+    """
+
+    def __init__(self, key: str, crashes: int, reason: str) -> None:
+        super().__init__(
+            f"cell {key!r} crashed its worker {crashes}x ({reason})"
+        )
+        self.key = key
+        self.crashes = crashes
+        self.reason = reason
+
+
+class SweepInterruptedError(ReproError):
+    """A sweep drained early on SIGINT/SIGTERM and left resumable state.
+
+    The drain guard converts the first signal into an orderly stop:
+    in-flight cells finish, the ledger is flushed, and this error
+    propagates so the CLI can exit with a distinct code (130).  The run
+    directory is left in a state ``--resume`` completes from.
+    """
+
+    def __init__(self, signal_name: str, completed: int, total: int) -> None:
+        super().__init__(
+            f"sweep drained after {signal_name}: "
+            f"{completed}/{total} cells done; resume with --resume"
+        )
+        self.signal_name = signal_name
+        self.completed = completed
+        self.total = total
+
+
 class CacheError(ReproError):
     """The result cache could not be administered.
 

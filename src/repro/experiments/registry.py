@@ -35,8 +35,10 @@ from ..parallel.pool import (
     ParallelConfig,
     activate_parallel,
     resolve_cache_dir,
+    resolve_supervision,
     resolve_workers,
 )
+from ..parallel.supervise import drain_guard
 from ..resilience.executor import (
     ExecutionContext,
     ExecutionPolicy,
@@ -139,6 +141,8 @@ def run_experiment(
     workers: int | None = None,
     cache_dir: str | None = None,
     cache_salt: str = "",
+    heartbeat_interval: float | None = None,
+    max_worker_restarts: int | None = None,
     validate_claims: bool = False,
     **kwargs,
 ) -> ExperimentResult:
@@ -184,6 +188,13 @@ def run_experiment(
     cache_salt:
         Extra string folded into every cache key (a campaign id);
         changing it orphans previous entries.
+    heartbeat_interval:
+        Seconds between pool-worker heartbeats; the supervisor kills a
+        worker whose lease misses beats past the stall deadline.
+        Defaults to ``REPRO_HEARTBEAT_INTERVAL``, else 0.5.
+    max_worker_restarts:
+        Pool rebuilds tolerated per sweep before the run fails.
+        Defaults to ``REPRO_MAX_WORKER_RESTARTS``, else 12.
     validate_claims:
         Evaluate the paper claims registered for this experiment (see
         :mod:`repro.validate`) over the fresh result and record the
@@ -219,10 +230,15 @@ def run_experiment(
         ledger_path = default_ledger_path(experiment_id)
 
     parallel = ParallelConfig(
-        workers=workers, cache_dir=cache_dir, cache_salt=cache_salt
+        workers=workers,
+        cache_dir=cache_dir,
+        cache_salt=cache_salt,
+        heartbeat_interval=heartbeat_interval,
+        max_worker_restarts=max_worker_restarts,
     )
     obs_context = obs if obs is not None else ObsContext()
-    with activate_obs(obs_context), activate_parallel(parallel):
+    with activate_obs(obs_context), activate_parallel(parallel), \
+            drain_guard():
         with obs_context.tracer.span("session", experiment=experiment_id):
             if not resilient:
                 result = _call_runner(experiment_id, runner, kwargs)
@@ -242,9 +258,14 @@ def run_experiment(
                 context = ExecutionContext(policy, experiment_id=experiment_id)
                 with activate(context):
                     result = _call_runner(experiment_id, runner, kwargs)
+        supervision = resolve_supervision(
+            heartbeat_interval, max_worker_restarts
+        )
         result.provenance["parallel"] = {
             "workers": resolve_workers(workers),
             "cache_dir": resolve_cache_dir(cache_dir),
+            "heartbeat_interval": supervision.heartbeat_interval,
+            "max_worker_restarts": supervision.max_worker_restarts,
         }
         if context is not None:
             result.provenance.update(context.guard.provenance())

@@ -72,6 +72,25 @@ class ObsContext:
                 status: int(counters.get(f"claims.{status}", 0))
                 for status in ("pass", "fail", "skip")
             },
+            # Pool supervision counters (all zero for serial runs):
+            # lease grants/losses/expiries, pool rebuilds, poison
+            # cells, and ledger torn-line truncations.
+            "supervision": {
+                "leases_granted": int(
+                    counters.get("pool.leases.granted", 0)
+                ),
+                "leases_lost": int(counters.get("pool.leases.lost", 0)),
+                "leases_expired": int(
+                    counters.get("pool.leases.expired", 0)
+                ),
+                "worker_restarts": int(counters.get("pool.restarts", 0)),
+                "poison_cells": int(
+                    counters.get("pool.cells.poisoned", 0)
+                ),
+                "ledger_torn_lines": int(
+                    counters.get("ledger.torn_lines", 0)
+                ),
+            },
             "metrics": snapshot,
         }
 

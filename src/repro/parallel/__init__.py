@@ -21,6 +21,7 @@ from .pool import (
     current_parallel,
     execute_cells,
     resolve_cache_dir,
+    resolve_supervision,
     resolve_workers,
 )
 from .scaling import (
@@ -29,15 +30,27 @@ from .scaling import (
     thread_scaling,
     topdown_with_threads,
 )
+from .supervise import (
+    HeartbeatWriter,
+    Lease,
+    SupervisionConfig,
+    drain_guard,
+    drain_requested,
+    last_beat,
+    request_drain,
+)
 from .tasks import ScheduleResult, Task, TaskGraph
 
 __all__ = [
     "GRAPH_BUILDERS",
     "CellSpec",
+    "HeartbeatWriter",
+    "Lease",
     "ParallelConfig",
     "ScalingCurve",
     "ScalingPoint",
     "ScheduleResult",
+    "SupervisionConfig",
     "Task",
     "TaskGraph",
     "activate_parallel",
@@ -47,8 +60,13 @@ __all__ = [
     "build_x264_graph",
     "build_x265_graph",
     "current_parallel",
+    "drain_guard",
+    "drain_requested",
     "execute_cells",
+    "last_beat",
+    "request_drain",
     "resolve_cache_dir",
+    "resolve_supervision",
     "resolve_workers",
     "thread_scaling",
     "topdown_with_threads",

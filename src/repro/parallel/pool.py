@@ -28,14 +28,33 @@ counters, the parent merely merges.
 Worker processes are forked, so they inherit the parent's imports and
 environment; only the per-cell job (spec, machine, policies, cache
 location) crosses the pickle boundary.
+
+The pool is *supervised* (see :mod:`repro.parallel.supervise`): every
+dispatch takes a lease in the parent's ledger, workers heartbeat to
+per-cell sidecar files, and the parent's dispatch loop detects broken
+pools, dead workers and stalled leases, rebuilds the pool, and
+re-dispatches only the lost cells — repeat offenders are poisoned
+into quarantine with a :class:`~repro.errors.WorkerCrashError` instead
+of crashing the sweep a third time.  SIGINT/SIGTERM drain gracefully:
+in-flight cells finish, the ledger stays resumable, and the run exits
+through :class:`~repro.errors.SweepInterruptedError`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import signal as _signal
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
@@ -44,9 +63,14 @@ from ..cache import ResultCache
 from ..clock import SYSTEM_CLOCK
 from ..core.serialize import from_jsonable, to_jsonable
 from ..core.session import CellSpec, RunKey, Session
-from ..errors import ExperimentError, QuarantinedCellError
+from ..errors import (
+    ExperimentError,
+    QuarantinedCellError,
+    SweepInterruptedError,
+    WorkerCrashError,
+)
 from ..obs import events as obs_events
-from ..obs.context import ObsContext, activate_obs, current_obs
+from ..obs.context import ObsContext, activate_obs, current_obs, record_metric
 from ..obs.events import Event
 from ..obs.span import ERROR, OK as SPAN_OK, active_tracer, trace_span
 from ..resilience.executor import (
@@ -55,9 +79,21 @@ from ..resilience.executor import (
     ResilienceGuard,
 )
 from ..resilience.ledger import OK, QUARANTINED
+from .supervise import (
+    HeartbeatWriter,
+    Lease,
+    SupervisionConfig,
+    drain_guard,
+    drain_requested,
+)
 
 #: Environment override for the default worker count (0 = all cores).
 _ENV_WORKERS = "REPRO_WORKERS"
+#: Environment overrides for the supervisor's knobs.
+_ENV_HEARTBEAT = "REPRO_HEARTBEAT_INTERVAL"
+_ENV_RESTARTS = "REPRO_MAX_WORKER_RESTARTS"
+_ENV_MISSES = "REPRO_HEARTBEAT_MISSES"
+_ENV_CRASHES = "REPRO_MAX_CELL_CRASHES"
 
 
 @dataclass(frozen=True)
@@ -74,6 +110,9 @@ class ParallelConfig:
     workers: int | None = None       # None -> env -> 1; 0 -> all cores
     cache_dir: str | None = None     # None -> env -> no cache
     cache_salt: str = ""
+    #: Supervision knobs; ``None`` falls through env to the defaults.
+    heartbeat_interval: float | None = None
+    max_worker_restarts: int | None = None
 
 
 _current: ParallelConfig | None = None
@@ -121,6 +160,59 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+def _env_number(name: str, parse, kind: str):
+    raw = os.environ.get(name, "")
+    if not raw:
+        return None
+    try:
+        return parse(raw)
+    except ValueError:
+        raise ExperimentError(f"{name}={raw!r} is not {kind}") from None
+
+
+def resolve_supervision(
+    heartbeat_interval: float | None = None,
+    max_worker_restarts: int | None = None,
+) -> SupervisionConfig:
+    """Effective supervisor knobs: explicit > ambient > env > defaults.
+
+    ``REPRO_HEARTBEAT_INTERVAL`` / ``REPRO_MAX_WORKER_RESTARTS`` mirror
+    the CLI flags; ``REPRO_HEARTBEAT_MISSES`` and
+    ``REPRO_MAX_CELL_CRASHES`` are env-only (they tune the stall
+    deadline and the poison threshold, which almost never need
+    per-run adjustment).
+    """
+    if heartbeat_interval is None and _current is not None:
+        heartbeat_interval = _current.heartbeat_interval
+    if heartbeat_interval is None:
+        heartbeat_interval = _env_number(_ENV_HEARTBEAT, float, "a number")
+    if max_worker_restarts is None and _current is not None:
+        max_worker_restarts = _current.max_worker_restarts
+    if max_worker_restarts is None:
+        max_worker_restarts = _env_number(_ENV_RESTARTS, int, "an integer")
+    misses = _env_number(_ENV_MISSES, int, "an integer")
+    crashes = _env_number(_ENV_CRASHES, int, "an integer")
+    defaults = SupervisionConfig()
+    return SupervisionConfig(
+        heartbeat_interval=(
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else defaults.heartbeat_interval
+        ),
+        heartbeat_misses=(
+            misses if misses is not None else defaults.heartbeat_misses
+        ),
+        max_worker_restarts=(
+            max_worker_restarts
+            if max_worker_restarts is not None
+            else defaults.max_worker_restarts
+        ),
+        max_cell_crashes=(
+            crashes if crashes is not None else defaults.max_cell_crashes
+        ),
+    )
+
+
 def resolve_cache_dir(cache_dir: str | None = None) -> str | None:
     """Effective cache directory: explicit > ambient > env > disabled."""
     if cache_dir is None and _current is not None:
@@ -154,6 +246,24 @@ class _CellJob:
     experiment_id: str
     cache_dir: str | None
     cache_salt: str
+    #: Heartbeat sidecar file for this dispatch (``None`` = no beats).
+    hb_path: str | None = None
+    heartbeat_interval: float = 0.5
+    #: Worker crashes this cell already caused; primes crash-kind
+    #: fault counters so an injected kill is not re-fired forever.
+    prior_crashes: int = 0
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: leave terminal signals to the parent.
+
+    Ctrl-C reaches the whole foreground process group; if workers died
+    on the first SIGINT there would be nothing left to drain.  Workers
+    ignore SIGINT/SIGTERM and the parent decides — finish in-flight
+    cells on a drain, SIGKILL on a stall.
+    """
+    _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    _signal.signal(_signal.SIGTERM, _signal.SIG_IGN)
 
 
 def _worker_cell(job: _CellJob) -> dict[str, Any]:
@@ -177,22 +287,39 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
         job.spec.codec, job.spec.video, job.spec.crf, job.spec.preset,
         job.num_frames,
     )
+    cell_key = session.cell_key(key)
+    if (
+        job.prior_crashes
+        and job.policy is not None
+        and job.policy.faults is not None
+    ):
+        job.policy.faults.prime(cell_key, job.prior_crashes)
+    heartbeat = None
+    if job.hb_path:
+        heartbeat = HeartbeatWriter(
+            job.hb_path, key=cell_key, interval=job.heartbeat_interval
+        )
+        heartbeat.start()
     status, payload, error = OK, None, None
-    with activate_obs(obs):
-        cell_start = obs.clock.monotonic()
-        try:
-            payload = to_jsonable(run_spec(session, job.spec))
-        except QuarantinedCellError as exc:
-            status = QUARANTINED
-            error = f"{type(exc.cause).__name__}: {exc.cause}"
-        cell_end = obs.clock.monotonic()
+    try:
+        with activate_obs(obs):
+            cell_start = obs.clock.monotonic()
+            try:
+                payload = to_jsonable(run_spec(session, job.spec))
+            except QuarantinedCellError as exc:
+                status = QUARANTINED
+                error = f"{type(exc.cause).__name__}: {exc.cause}"
+            cell_end = obs.clock.monotonic()
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
     outcome = (
         session.guard.outcomes[-1]
         if session.guard is not None and session.guard.outcomes
         else None
     )
     return {
-        "key": session.cell_key(key),
+        "key": cell_key,
         "status": status,
         "payload": payload,
         "error": error,
@@ -341,6 +468,11 @@ def _execute_serial(
     """The ``workers=1`` engine: the classic sweep loop, spec-driven."""
     results: list[Any | None] = []
     for index, spec in enumerate(specs):
+        signame = drain_requested()
+        if signame is not None:
+            raise SweepInterruptedError(
+                signame, completed=index, total=len(specs)
+            )
         try:
             with trace_span("sweep.cell", point=str(spec), index=index):
                 results.append(run_spec(session, spec))
@@ -349,10 +481,230 @@ def _execute_serial(
     return results
 
 
+def _kill_pids(pids: Iterable[int]) -> None:
+    """SIGKILL each pid; a worker already gone is already what we want.
+
+    SIGKILL (not SIGTERM) because the target may be SIGSTOPped — a
+    stopped process queues every catchable signal until SIGCONT, and a
+    hung worker is exactly the one that will never resume itself.
+    """
+    for pid in pids:
+        try:
+            os.kill(pid, _signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+
+def _pool_pids(pool: ProcessPoolExecutor) -> list[int]:
+    processes = getattr(pool, "_processes", None) or {}
+    return list(processes)
+
+
+class _Supervisor:
+    """Parent-side state for one supervised pooled sweep.
+
+    Owns the dispatch queue, the in-flight lease table, per-cell crash
+    counts and the restart budget; the dispatch loop in
+    :func:`_execute_pooled` drives it.  Results merge as they arrive —
+    determinism comes from the final key-ordered assembly, not from
+    completion order, so re-dispatching lost cells in any order is
+    safe.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        pending: dict[RunKey, tuple[int, CellSpec]],
+        config: SupervisionConfig,
+        worker_count: int,
+    ) -> None:
+        self.session = session
+        self.guard = session.guard
+        self.pending = pending
+        self.config = config
+        self.worker_count = worker_count
+        self.queue: deque[RunKey] = deque(
+            sorted(pending, key=lambda k: pending[k][0])
+        )
+        self.inflight: dict[Any, Lease] = {}
+        self.crashes: dict[str, int] = {}
+        self.restarts = 0
+        self.dispatch_seq = 0
+        self.hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+
+    def dispatch(self, pool: ProcessPoolExecutor, job_template) -> bool:
+        """Submit cells until the pool is saturated or a drain holds.
+
+        Returns ``False`` when the pool turns out to be broken already
+        (a worker died between ticks): the un-submitted cell goes back
+        to the queue head and the caller runs the rebuild path.
+        """
+        while (
+            self.queue
+            and len(self.inflight) < self.worker_count
+            and drain_requested() is None
+        ):
+            key = self.queue.popleft()
+            index, spec = self.pending[key]
+            cell_key = self.session.cell_key(key)
+            prior = self.crashes.get(cell_key, 0)
+            self.dispatch_seq += 1
+            hb_path = os.path.join(
+                self.hb_dir, f"{self.dispatch_seq:06d}.jsonl"
+            )
+            try:
+                future = pool.submit(
+                    _worker_cell,
+                    job_template(spec, hb_path, prior),
+                )
+            except BrokenProcessPool:
+                self.queue.appendleft(key)
+                return False
+            self.inflight[future] = Lease(
+                key=key,
+                cell_key=cell_key,
+                index=index,
+                spec=spec,
+                hb_path=hb_path,
+                granted_wall=time.time(),
+                seq=self.dispatch_seq,
+            )
+            if self.guard is not None:
+                self.guard.grant_lease(
+                    cell_key, seq=self.dispatch_seq, prior_crashes=prior
+                )
+            else:
+                record_metric("counter", "pool.leases.granted")
+        return True
+
+    def check_stalls(self, pool: ProcessPoolExecutor) -> None:
+        """SIGKILL workers whose leases missed the heartbeat deadline.
+
+        The kill surfaces as a broken pool on the next tick;
+        ``stall_killed`` pins crash blame on the stalled cell so the
+        innocent in-flight cells are re-dispatched blame-free.
+        """
+        now_wall = time.time()
+        for lease in self.inflight.values():
+            if lease.stall_killed:
+                continue
+            if not lease.stalled(now_wall, self.config.stall_deadline):
+                continue
+            lease.stall_killed = True
+            record_metric("counter", "pool.leases.expired")
+            pid = lease.beat_pid()
+            obs_events.warn(
+                "pool.lease_stalled",
+                f"cell {lease.cell_key}: no heartbeat for "
+                f"{self.config.stall_deadline:g}s; killing worker",
+                cell=lease.cell_key,
+                pid=pid,
+                deadline=self.config.stall_deadline,
+            )
+            _kill_pids([pid] if pid is not None else _pool_pids(pool))
+
+    def handle_lost(self, lost: list[Lease]) -> None:
+        """Blame, ledger, poison or requeue every lost lease.
+
+        Blame goes to stall-killed leases when the supervisor caused
+        the break, else to leases whose cells demonstrably started
+        (their heartbeat file exists), else — when the worker died
+        before any beat — to every lost lease, which guarantees a
+        repeatedly-crashing cell accumulates blame and the sweep
+        always makes progress toward poisoning it.
+        """
+        lost.sort(key=lambda lease: lease.index)
+        stalled = [lease for lease in lost if lease.stall_killed]
+        started = [lease for lease in lost if lease.started()]
+        blamed = {
+            lease.seq for lease in (stalled or started or lost)
+        }
+        requeue: list[RunKey] = []
+        for lease in lost:
+            reason = (
+                "stalled past heartbeat deadline"
+                if lease.stall_killed
+                else "worker process died"
+            )
+            count = self.crashes.get(lease.cell_key, 0)
+            if lease.seq in blamed:
+                count += 1
+                self.crashes[lease.cell_key] = count
+            if self.guard is not None:
+                self.guard.lease_lost(
+                    lease.cell_key,
+                    reason,
+                    seq=lease.seq,
+                    blamed=lease.seq in blamed,
+                    crashes=count,
+                )
+            else:
+                record_metric("counter", "pool.leases.lost")
+            if (
+                lease.seq in blamed
+                and count > self.config.max_cell_crashes
+            ):
+                self._poison(lease, count, reason)
+            else:
+                requeue.append(lease.key)
+        self.queue = deque(
+            sorted(
+                [*requeue, *self.queue],
+                key=lambda k: self.pending[k][0],
+            )
+        )
+
+    def _poison(self, lease: Lease, count: int, reason: str) -> None:
+        cause = WorkerCrashError(lease.cell_key, count, reason)
+        self.session._quarantined[lease.key] = QuarantinedCellError(
+            lease.cell_key, cause
+        )
+        if self.guard is not None:
+            self.guard.record_remote(
+                CellOutcome(
+                    key=lease.cell_key,
+                    status=QUARANTINED,
+                    attempts=count,
+                    error=f"{type(cause).__name__}: {cause}",
+                )
+            )
+        record_metric("counter", "pool.cells.poisoned")
+        record_metric("counter", "cells.quarantined")
+        obs_events.warn(
+            "pool.poison",
+            f"cell {lease.cell_key} crashed {count} worker(s); "
+            f"quarantined as poison",
+            cell=lease.cell_key,
+            crashes=count,
+        )
+
+    def spend_restart(self, lost_count: int) -> None:
+        """Account one pool rebuild; raise once the budget is gone."""
+        self.restarts += 1
+        record_metric("counter", "pool.restarts")
+        obs_events.warn(
+            "pool.worker_crash",
+            f"process pool broke ({lost_count} lease(s) lost); "
+            f"rebuilding (restart {self.restarts}/"
+            f"{self.config.max_worker_restarts})",
+            lost=lost_count,
+            restarts=self.restarts,
+        )
+        if self.restarts > self.config.max_worker_restarts:
+            raise ExperimentError(
+                f"process pool broke {self.restarts} times; restart "
+                f"budget ({self.config.max_worker_restarts}) exhausted "
+                "— raise --max-worker-restarts or fix the crash"
+            )
+
+    def close(self) -> None:
+        shutil.rmtree(self.hb_dir, ignore_errors=True)
+
+
 def _execute_pooled(
     session: Session, specs: list[CellSpec], workers: int
 ) -> list[Any | None]:
-    """Fan uncomputed cells over a process pool; merge deterministically."""
+    """Fan uncomputed cells over a supervised process pool."""
     parent_wall = time.time()
     parent_mono = SYSTEM_CLOCK.monotonic()
     guard = session.guard
@@ -377,61 +729,23 @@ def _execute_pooled(
             continue
         pending[key] = (index, spec)
 
-    if pending:
-        policy = _worker_policy(guard)
-        cache_dir = session.cache.root if session.cache is not None else None
-        cache_salt = session.cache.salt if session.cache is not None else ""
-        experiment_id = guard.experiment_id if guard is not None else ""
-        worker_count = min(workers, len(pending))
-        obs_events.emit(
-            "pool.start",
-            f"dispatching {len(pending)} cell(s) over "
-            f"{worker_count} worker(s)",
-            cells=len(pending),
-            workers=worker_count,
-        )
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        thread_rows: dict[tuple[int, int], int] = {}
-        with ProcessPoolExecutor(
-            max_workers=worker_count, mp_context=context
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _worker_cell,
-                    _CellJob(
-                        spec=spec,
-                        machine=session.machine,
-                        num_frames=session.num_frames,
-                        policy=policy,
-                        experiment_id=experiment_id,
-                        cache_dir=cache_dir,
-                        cache_salt=cache_salt,
-                    ),
-                ): key
-                for key, (index, spec) in pending.items()
-            }
-            for future in as_completed(futures):
-                key = futures[future]
-                index, spec = pending[key]
-                result = future.result()
-                offset = (
-                    parent_mono
-                    - result["anchors"]["mono"]
-                    + result["anchors"]["wall"]
-                    - parent_wall
-                )
-                _merge_result(
-                    session, spec, key, index, result,
-                    offset=offset, thread_rows=thread_rows,
-                )
-        obs_events.emit(
-            "pool.done",
-            f"pool completed {len(pending)} cell(s)",
-            cells=len(pending),
-        )
+    with drain_guard():
+        if pending:
+            _run_supervised(
+                session,
+                pending,
+                workers,
+                parent_wall=parent_wall,
+                parent_mono=parent_mono,
+            )
+        signame = drain_requested()
+        if signame is not None:
+            completed = sum(
+                1
+                for key in keys
+                if key in session._reports or key in session._quarantined
+            )
+            raise SweepInterruptedError(signame, completed, len(keys))
 
     # Merged output preserves the caller's point order exactly;
     # quarantined cells surface as None, mirroring the serial drop.
@@ -439,6 +753,154 @@ def _execute_pooled(
         None if key in session._quarantined else session._reports.get(key)
         for key in keys
     ]
+
+
+def _run_supervised(
+    session: Session,
+    pending: dict[RunKey, tuple[int, CellSpec]],
+    workers: int,
+    *,
+    parent_wall: float,
+    parent_mono: float,
+) -> None:
+    """The supervised dispatch loop: at most ``workers`` cells in
+    flight, heartbeat checks every tick, pool rebuilds on breakage."""
+    guard = session.guard
+    policy = _worker_policy(guard)
+    cache_dir = session.cache.root if session.cache is not None else None
+    cache_salt = session.cache.salt if session.cache is not None else ""
+    experiment_id = guard.experiment_id if guard is not None else ""
+    worker_count = min(workers, len(pending))
+    config = resolve_supervision()
+    obs_events.emit(
+        "pool.start",
+        f"dispatching {len(pending)} cell(s) over "
+        f"{worker_count} worker(s)",
+        cells=len(pending),
+        workers=worker_count,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    thread_rows: dict[tuple[int, int], int] = {}
+    supervisor = _Supervisor(session, pending, config, worker_count)
+
+    def job_template(
+        spec: CellSpec, hb_path: str, prior: int
+    ) -> _CellJob:
+        return _CellJob(
+            spec=spec,
+            machine=session.machine,
+            num_frames=session.num_frames,
+            policy=policy,
+            experiment_id=experiment_id,
+            cache_dir=cache_dir,
+            cache_salt=cache_salt,
+            hb_path=hb_path,
+            heartbeat_interval=config.heartbeat_interval,
+            prior_crashes=prior,
+        )
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=worker_count,
+            mp_context=context,
+            initializer=_worker_init,
+        )
+
+    def merge(lease: Lease, result: dict[str, Any]) -> None:
+        offset = (
+            parent_mono
+            - result["anchors"]["mono"]
+            + result["anchors"]["wall"]
+            - parent_wall
+        )
+        _merge_result(
+            session, lease.spec, lease.key, lease.index, result,
+            offset=offset, thread_rows=thread_rows,
+        )
+
+    pool = make_pool()
+    merged = 0
+
+    def rebuild_after_break(
+        broken_pool: ProcessPoolExecutor, lost: list[Lease]
+    ) -> ProcessPoolExecutor:
+        """Salvage finished futures, account the break, fresh pool.
+
+        The executor poisons every in-flight future when one worker
+        dies, but a future that completed *before* the break still
+        holds its real result — merge those, lose the rest.
+        """
+        nonlocal merged
+        for future, lease in list(supervisor.inflight.items()):
+            salvaged = False
+            if future.done():
+                try:
+                    merge(lease, future.result())
+                    merged += 1
+                    salvaged = True
+                except Exception:  # noqa: BLE001 - poisoned future
+                    pass
+            if not salvaged:
+                lost.append(lease)
+        supervisor.inflight.clear()
+        supervisor.spend_restart(len(lost))
+        supervisor.handle_lost(lost)
+        broken_pool.shutdown(wait=False, cancel_futures=True)
+        return make_pool()
+
+    try:
+        with trace_span(
+            "pool.supervise", cells=len(pending), workers=worker_count
+        ):
+            while supervisor.queue or supervisor.inflight:
+                if not supervisor.dispatch(pool, job_template):
+                    # A worker died between ticks; submit refused.
+                    pool = rebuild_after_break(pool, [])
+                    continue
+                if not supervisor.inflight:
+                    # Nothing running and nothing dispatchable: a
+                    # drain request is holding the queue back.
+                    break
+                done, _ = futures_wait(
+                    list(supervisor.inflight),
+                    timeout=config.poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                lost: list[Lease] = []
+                pool_broken = False
+                for future in done:
+                    lease = supervisor.inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        lost.append(lease)
+                        continue
+                    merge(lease, result)
+                    merged += 1
+                if pool_broken:
+                    pool = rebuild_after_break(pool, lost)
+                    continue
+                supervisor.check_stalls(pool)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        supervisor.close()
+    obs_events.emit(
+        "pool.done",
+        f"pool completed {merged} cell(s) "
+        f"({supervisor.restarts} restart(s))",
+        cells=merged,
+        restarts=supervisor.restarts,
+        poisoned=sum(
+            1
+            for count in supervisor.crashes.values()
+            if count > config.max_cell_crashes
+        ),
+    )
 
 
 def execute_cells(
@@ -455,6 +917,7 @@ def execute_cells(
     """
     normalised = [CellSpec.of(spec) for spec in specs]
     count = resolve_workers(workers)
-    if count <= 1 or len(normalised) <= 1:
-        return _execute_serial(session, normalised)
-    return _execute_pooled(session, normalised, count)
+    with drain_guard():
+        if count <= 1 or len(normalised) <= 1:
+            return _execute_serial(session, normalised)
+        return _execute_pooled(session, normalised, count)

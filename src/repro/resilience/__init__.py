@@ -30,11 +30,19 @@ from .faults import (
     install,
     reload_from_env,
 )
-from .ledger import LEDGER_SCHEMA_VERSION, LedgerRecord, RunLedger
+from .ledger import (
+    LEASE,
+    LEDGER_SCHEMA_VERSION,
+    LOST,
+    LedgerRecord,
+    RunLedger,
+)
 from .policy import NO_RETRY, RetryPolicy, classify_error
 
 __all__ = [
+    "LEASE",
     "LEDGER_SCHEMA_VERSION",
+    "LOST",
     "NO_RETRY",
     "SYSTEM_CLOCK",
     "CellOutcome",

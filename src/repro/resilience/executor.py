@@ -43,7 +43,7 @@ from ..obs.context import record_metric
 from ..obs.span import attach_span, capture_span, trace_span
 from .clock import SYSTEM_CLOCK, Clock
 from .faults import FaultPlan, active_plan
-from .ledger import OK, QUARANTINED, LedgerRecord, RunLedger
+from .ledger import LEASE, LOST, OK, QUARANTINED, LedgerRecord, RunLedger
 from .policy import NO_RETRY, RetryPolicy
 
 #: Outcome statuses recorded per cell (superset of the ledger's).
@@ -128,6 +128,8 @@ class ResilienceGuard:
         self.policy = policy
         self.experiment_id = experiment_id
         self.outcomes: list[CellOutcome] = []
+        #: Worker deaths observed while holding a lease (pooled runs).
+        self.worker_crashes = 0
         self.ledger: RunLedger | None = (
             RunLedger(policy.ledger_path) if policy.ledger_path else None
         )
@@ -167,6 +169,45 @@ class ResilienceGuard:
         """
         return key in self._resumable
 
+    def grant_lease(self, key: str, **meta: Any) -> None:
+        """Checkpoint that ``key`` was dispatched across the process
+        boundary and may now be lost.
+
+        A lease resolves when a later completion record lands for the
+        same cell; until then resume treats it as never executed.
+        No-op without a ledger — leases exist to survive the parent.
+        """
+        if self.ledger is not None:
+            self.ledger.append(
+                LedgerRecord(
+                    cell_key=key,
+                    status=LEASE,
+                    experiment_id=self.experiment_id,
+                    meta=meta or None,
+                )
+            )
+        record_metric("counter", "pool.leases.granted")
+
+    def lease_lost(self, key: str, reason: str, **meta: Any) -> None:
+        """Checkpoint that the worker holding ``key`` died.
+
+        The cell stays unresolved (it will be re-leased or poisoned);
+        the record exists so a post-mortem can see *when* each crash
+        happened, not just that the cell eventually completed.
+        """
+        self.worker_crashes += 1
+        if self.ledger is not None:
+            self.ledger.append(
+                LedgerRecord(
+                    cell_key=key,
+                    status=LOST,
+                    experiment_id=self.experiment_id,
+                    error=reason,
+                    meta=meta or None,
+                )
+            )
+        record_metric("counter", "pool.leases.lost")
+
     def record_remote(self, outcome: CellOutcome, payload: Any = None) -> None:
         """Adopt the outcome of a cell executed in a pool worker.
 
@@ -197,6 +238,7 @@ class ResilienceGuard:
             "retries": sum(
                 o.attempts - 1 for o in self.outcomes if o.status != RESUMED
             ),
+            "worker_crashes": self.worker_crashes,
             "ledger": self.policy.ledger_path,
         }
 

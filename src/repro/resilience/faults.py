@@ -17,17 +17,42 @@ Plan syntax (entries separated by ``;``, fields by ``@``)::
     cell:*@transient@times=1        # each cell fails once, then works
     cell:*:desktop:10:*@fatal       # one grid point fails permanently
     sim:schedule:*@stall@stall=0.2  # scheduler stalls 200 ms per call
+    cell:*:game1:35:*@kill@times=1  # that cell SIGKILLs its worker once
+    ledger:append:*@enospc@times=1  # first ledger write hits ENOSPC
 
-``kind`` is ``transient``, ``fatal`` or ``stall``.  ``times`` bounds
-injections *per site* (default 1; ``*`` = unlimited).  ``p`` arms the
-fault probabilistically, but deterministically: the decision hashes
-(seed, site, hit index), so the same plan replays identically.
+``kind`` is one of:
+
+in-process  ``transient`` raise, ``fatal`` raise, ``stall`` sleep
+            (slow-running work; also the "worker runs slow" fault).
+process     ``exit`` — ``os._exit(70)``, the worker vanishes without
+            cleanup; ``kill`` — the process SIGKILLs itself, exactly an
+            OOM-killer hit; ``hang`` — the process SIGSTOPs itself,
+            freezing *every* thread (including its heartbeat writer) so
+            the supervisor's staleness detection is tested honestly.
+disk        ``enospc`` — raise ``OSError(ENOSPC)`` from the write path;
+            ``torn`` — *cooperative*: :meth:`FaultPlan.check` returns
+            the action and the instrumented writer (the run ledger)
+            persists a partial final line then dies mid-write via
+            :func:`crash_now`, the canonical power-cut artifact.
+
+``times`` bounds injections *per site* (default 1; ``*`` = unlimited).
+``p`` arms the fault probabilistically, but deterministically: the
+decision hashes (seed, site, hit index), so the same plan replays
+identically.
+
+Process faults kill the worker, and the worker's hit counters die with
+it — a ``kill@times=1`` fault would re-fire forever on re-dispatch.
+The supervisor therefore ships each cell's observed crash count back
+into the replacement worker, which calls :meth:`FaultPlan.prime` to
+fast-forward the counters past the injections that already happened.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import hashlib
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -41,7 +66,26 @@ _ENV_VAR = "REPRO_FAULT_PLAN"
 TRANSIENT = "transient"
 FATAL = "fatal"
 STALL = "stall"
-_KINDS = (TRANSIENT, FATAL, STALL)
+EXIT = "exit"
+KILL = "kill"
+HANG = "hang"
+ENOSPC = "enospc"
+TORN = "torn"
+_KINDS = (TRANSIENT, FATAL, STALL, EXIT, KILL, HANG, ENOSPC, TORN)
+
+#: Kinds that destroy the process they fire in (directly or, for
+#: ``hang``, via the supervisor's stall-kill).  The supervisor primes
+#: these on re-dispatch so a crashed injection is not repeated.
+CRASH_KINDS = (EXIT, KILL, HANG)
+
+#: Exit status used by ``exit``/``torn`` faults and :func:`crash_now` —
+#: distinct from Python's 1 and the shell's 128+N signal encodings.
+CRASH_EXIT_CODE = 70
+
+
+def crash_now() -> None:
+    """Die instantly, skipping atexit/finally — a simulated power cut."""
+    os._exit(CRASH_EXIT_CODE)
 
 
 class InjectedTransientError(TransientError):
@@ -131,11 +175,14 @@ class FaultPlan:
             faults.append(Fault(pattern=pattern, kind=kind, **fields))
         return cls(faults=faults, seed=seed)
 
-    def check(self, site: str, sleep=time.sleep) -> None:
-        """Raise or stall if any rule fires for ``site``.
+    def check(self, site: str, sleep=time.sleep) -> str | None:
+        """Raise, stall, crash, or hand back a cooperative action.
 
         The first matching rule that fires wins; later rules still see
-        the site on subsequent calls.
+        the site on subsequent calls.  Returns the fired kind for
+        cooperative faults (currently ``torn``, which the caller must
+        enact itself) and for ``stall`` after sleeping; returns ``None``
+        when nothing fired.  ``exit``/``kill``/``hang`` do not return.
         """
         for fault in self.faults:
             if not fault.matches(site):
@@ -147,9 +194,40 @@ class FaultPlan:
                 )
             if action == FATAL:
                 raise InjectedFatalError(f"injected fatal fault at {site}")
+            if action == ENOSPC:
+                raise OSError(
+                    _errno.ENOSPC,
+                    f"injected ENOSPC at {site}",
+                )
             if action == STALL:
                 sleep(fault.stall_seconds)
-                return
+                return STALL
+            if action == EXIT:
+                crash_now()
+            if action == KILL:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if action == HANG:
+                # SIGSTOP freezes the whole process — heartbeat thread
+                # included — so only the supervisor can end the hang.
+                os.kill(os.getpid(), signal.SIGSTOP)
+                return HANG  # resumed by SIGCONT (tests) or killed
+            if action == TORN:
+                return TORN
+        return None
+
+    def prime(self, site: str, count: int) -> None:
+        """Fast-forward crash-kind hit counters for ``site`` to ``count``.
+
+        Called by a replacement worker before re-running a cell whose
+        previous workers died: the injections that killed them happened,
+        but their counters died too.  Only crash kinds are primed —
+        in-process faults keep their own bookkeeping via retries.
+        """
+        if count <= 0:
+            return
+        for fault in self.faults:
+            if fault.kind in CRASH_KINDS and fault.matches(site):
+                fault._hits[site] = max(fault._hits.get(site, 0), count)
 
     def reset(self) -> None:
         """Forget all per-site hit counters (a fresh replay)."""
@@ -192,8 +270,14 @@ def reload_from_env() -> None:
     _active = _UNSET
 
 
-def fault_point(site: str) -> None:
-    """Announce an injectable call site; raises/stalls per the plan."""
+def fault_point(site: str) -> str | None:
+    """Announce an injectable call site; raises/stalls per the plan.
+
+    Returns the fired cooperative action (``"torn"``) for callers that
+    enact disk faults themselves; everything else returns ``None`` or
+    does not return at all.
+    """
     plan = active_plan()
     if plan is not None:
-        plan.check(site)
+        return plan.check(site)
+    return None

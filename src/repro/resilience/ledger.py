@@ -1,4 +1,4 @@
-"""The checkpointing run ledger: one JSONL record per finished cell.
+"""The checkpointing run ledger: one JSONL record per cell event.
 
 A sweep writes a :class:`LedgerRecord` the moment each cell completes
 (successfully or quarantined), so a killed run leaves behind exactly
@@ -7,9 +7,20 @@ reloads the ledger and replays successful cells from their serialized
 payloads instead of re-executing them; quarantined cells are *not*
 replayed, so a resumed run gets a fresh chance at them.
 
+Pooled sweeps additionally write *lease* records: a ``lease`` line at
+dispatch (the cell crossed the process boundary and may be lost) and a
+``lost`` line when a worker dies holding it.  Resolution is by a later
+completion record for the same cell; resume treats an unresolved lease
+exactly like an unexecuted cell, because that is what it is.
+
 The format is deliberately dumb — one self-describing JSON object per
 line, append-only, schema-versioned — because the ledger must survive
-being killed mid-write: a torn final line is expected and ignored.
+being killed mid-write.  A torn final line is the expected signature
+of a crash: on load it is *truncated away* (not merely skipped), so a
+subsequent append cannot concatenate onto the partial line and turn it
+into mid-file corruption.  Corruption anywhere but the final line
+still raises, because that means something other than a crash-mid-
+append happened to the file.
 """
 
 from __future__ import annotations
@@ -20,29 +31,44 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Iterator
 
 from ..errors import CheckpointError
+from ..obs import events as obs_events
+from ..obs.context import record_metric
+from . import faults
 
 #: Bump when the record layout changes incompatibly.
 LEDGER_SCHEMA_VERSION = 1
 
 OK = "ok"
 QUARANTINED = "quarantined"
+#: A cell was dispatched to a worker and may be in flight (pooled runs).
+LEASE = "lease"
+#: The worker holding the lease died; the cell will be re-dispatched.
+LOST = "lost"
+
+#: Statuses that resolve a cell (terminal for this run).
+_COMPLETED = (OK, QUARANTINED)
 
 
 @dataclass(frozen=True)
 class LedgerRecord:
-    """Outcome of one sweep cell, as persisted."""
+    """One sweep-cell event, as persisted."""
 
     cell_key: str
-    status: str                      # "ok" | "quarantined"
+    status: str                      # "ok" | "quarantined" | "lease" | "lost"
     experiment_id: str = ""
     attempts: int = 1
     elapsed_seconds: float = 0.0
     error: str | None = None
     payload: Any = None              # serialized cell result when ok
+    #: Free-form supervision context (worker pid, crash count, reason).
+    meta: dict[str, Any] | None = None
     schema_version: int = LEDGER_SCHEMA_VERSION
 
     def to_line(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True)
+        data = asdict(self)
+        if data.get("meta") is None:
+            del data["meta"]         # keep pre-lease lines byte-identical
+        return json.dumps(data, sort_keys=True)
 
     @classmethod
     def from_line(cls, line: str) -> "LedgerRecord":
@@ -64,7 +90,7 @@ class LedgerRecord:
 
 @dataclass
 class RunLedger:
-    """Append-only JSONL ledger of completed sweep cells."""
+    """Append-only JSONL ledger of sweep-cell events."""
 
     path: str
     _records: list[LedgerRecord] = field(default_factory=list)
@@ -83,12 +109,16 @@ class RunLedger:
     def _read(self) -> Iterator[LedgerRecord]:
         try:
             with open(self.path, encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
+                content = handle.read()
         except OSError as exc:
             raise CheckpointError(
                 f"cannot read ledger {self.path!r}: {exc}"
             ) from exc
+        lines = content.splitlines()
+        offset = 0
         for index, line in enumerate(lines):
+            start = offset
+            offset += len(line.encode("utf-8")) + 1
             if not line.strip():
                 continue
             try:
@@ -97,14 +127,50 @@ class RunLedger:
                 # A torn final line is the expected signature of a
                 # killed run; corruption anywhere else is a real error.
                 if index == len(lines) - 1:
+                    self._truncate_torn(start, line)
                     continue
                 raise
 
+    def _truncate_torn(self, offset: int, line: str) -> None:
+        """Cut a partial final line out of the file, durably.
+
+        Leaving the fragment in place would corrupt the *next* append:
+        the new record concatenates onto it and a once-tolerable torn
+        tail becomes unreadable mid-file data.
+        """
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot truncate torn ledger line in {self.path!r}: {exc}"
+            ) from exc
+        record_metric("counter", "ledger.torn_lines")
+        obs_events.warn(
+            "ledger.torn",
+            f"ledger {self.path}: truncated torn final line "
+            f"({len(line)} chars)",
+            path=self.path,
+            dropped_chars=len(line),
+            offset=offset,
+        )
+
     def append(self, record: LedgerRecord) -> None:
         """Durably append one record (flushed before returning)."""
+        line = record.to_line()
         try:
+            action = faults.fault_point(f"ledger:append:{record.cell_key}")
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(record.to_line() + "\n")
+                if action == faults.TORN:
+                    # The injected power cut: persist a fragment of the
+                    # line, then die without cleanup.
+                    handle.write(line[: max(4, len(line) // 3)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    faults.crash_now()
+                handle.write(line + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         except OSError as exc:
@@ -121,7 +187,8 @@ class RunLedger:
         """cell_key -> payload for every successful cell.
 
         Later records win, so a cell re-executed after an earlier
-        quarantine resolves to its most recent outcome.
+        quarantine — or re-leased after a lost lease — resolves to its
+        most recent outcome, and a dangling lease resolves to nothing.
         """
         latest: dict[str, LedgerRecord] = {}
         for record in self._records:
@@ -132,5 +199,24 @@ class RunLedger:
             if record.status == OK
         }
 
+    def unresolved_leases(self) -> list[str]:
+        """Cell keys whose latest record is a lease (or lost lease).
+
+        These are the cells a crashed or interrupted run dispatched but
+        never finished; resume re-executes them.
+        """
+        latest: dict[str, str] = {}
+        for record in self._records:
+            latest[record.cell_key] = record.status
+        return [
+            key for key, status in latest.items()
+            if status in (LEASE, LOST)
+        ]
+
     def __len__(self) -> int:
-        return len(self._records)
+        """Number of *completion* records (the historical meaning).
+
+        Lease bookkeeping is excluded so "one record per finished
+        cell" stays true for callers counting checkpointed work.
+        """
+        return sum(1 for r in self._records if r.status in _COMPLETED)

@@ -264,14 +264,31 @@ def _branch_mpki_low(result: ExperimentResult) -> dict[str, CheckOutcome]:
     )
 
 
-def _missrate_meaningful(result: ExperimentResult) -> dict[str, CheckOutcome]:
+def _branch_mpki_flat(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _series_groups(result, "branch_mpki"),
+        lambda v: check_flat(v, rel_tolerance=0.30),
+    )
+
+
+def _missrate_groups(result: ExperimentResult) -> dict[str, list[float]]:
     groups = {
         series.name: [float(v) for v in series.y] for series in result.series
     }
     if not groups:
         raise ValidationError(f"{result.experiment_id}: no series")
+    return groups
+
+
+def _missrate_meaningful(result: ExperimentResult) -> dict[str, CheckOutcome]:
     return _per_group(
-        groups, lambda v: check_range(v, lo=0.5, hi=10.0)
+        _missrate_groups(result), lambda v: check_range(v, lo=0.5, hi=10.0)
+    )
+
+
+def _missrate_flat(result: ExperimentResult) -> dict[str, CheckOutcome]:
+    return _per_group(
+        _missrate_groups(result), lambda v: check_flat(v, rel_tolerance=0.35)
     )
 
 
@@ -428,6 +445,18 @@ CLAIMS: tuple[Claim, ...] = (
         evaluate_groups=_branch_mpki_low,
     ),
     Claim(
+        claim_id="branch-mpki-flat-across-crf",
+        experiment_id="fig06",
+        section="§4.4",
+        statement=(
+            "Branch MPKI stays roughly flat across the CRF sweep — "
+            "magnitude, not trend, is the story."
+        ),
+        checker="flat",
+        tolerance={"rel_tolerance": 0.30},
+        evaluate_groups=_branch_mpki_flat,
+    ),
+    Claim(
         claim_id="branch-missrate-meaningful",
         experiment_id="fig07",
         section="§4.4",
@@ -438,6 +467,18 @@ CLAIMS: tuple[Claim, ...] = (
         checker="range",
         tolerance={"lo": 0.5, "hi": 10.0},
         evaluate_groups=_missrate_meaningful,
+    ),
+    Claim(
+        claim_id="branch-missrate-flat-across-crf",
+        experiment_id="fig07",
+        section="§4.4",
+        statement=(
+            "The per-branch miss rate is insensitive to CRF: it stays "
+            "roughly flat across the bitrate sweep."
+        ),
+        checker="flat",
+        tolerance={"rel_tolerance": 0.35},
+        evaluate_groups=_missrate_flat,
     ),
     Claim(
         claim_id="tage-beats-gshare",

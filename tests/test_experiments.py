@@ -142,7 +142,11 @@ class TestCrfSweepFigures:
         result = fig06_uarch.run(session=session)
         for video in ("game1",):
             branch = result.get_series(f"branch_mpki:{video}").y
-            assert branch[-1] <= branch[0]  # falls with CRF
+            # §4.4: branch MPKI is *low and flat* across CRF — the
+            # paper's claim is magnitude, not monotonicity (per-CRF
+            # noise moves it either way).
+            assert all(value < 3.0 for value in branch)
+            assert max(branch) - min(branch) < 0.25
             llc = result.get_series(f"llc_mpki:{video}").y
             l1d = result.get_series(f"l1d_mpki:{video}").y
             assert all(small < big for small, big in zip(llc, l1d))
@@ -153,8 +157,10 @@ class TestCrfSweepFigures:
     def test_fig07_miss_rate_falls(self, session):
         result = fig07_missrate.run(session=session)
         rates = result.get_series("game1").y
-        assert rates[-1] <= rates[0]
-        assert 0.3 < rates[0] < 10.0  # percent
+        # Like branch MPKI, the miss *rate* stays low and roughly flat
+        # across CRF; the paper reads it as insensitive to bitrate.
+        assert all(0.3 < rate < 10.0 for rate in rates)  # percent
+        assert max(rates) - min(rates) < 0.3
 
 
 class TestCbpFigures:
