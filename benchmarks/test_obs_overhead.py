@@ -1,23 +1,38 @@
-"""Micro-benchmark: the disabled tracer must be free on ``sweep_cells``.
+"""Micro-benchmark: observability must be (nearly) free.
 
-The instrumentation contract (see ``repro.obs.span``) is that an
-uninstalled tracer costs one module-global read per span site.  This
-guards it: a grid swept through the instrumented ``sweep_cells`` must
-run within 5% of an uninstrumented replica of the same loop.
+Two contracts are guarded here:
 
-Timing uses best-of-N over a few hundred cells of non-trivial work, so
-scheduler noise doesn't drown the signal; the assertion is on the
-ratio, never on absolute time.
+- the **disabled tracer** (see ``repro.obs.span``) costs one
+  module-global read per span site: a grid swept through the
+  instrumented ``sweep_cells`` must run within 5% of an
+  uninstrumented replica of the same loop;
+- the **telemetry flush path** (see ``repro.obs.telemetry``) adds
+  <2% to a pooled fig04 sweep when a run directory enables it, and
+  exactly nothing when disabled (no sink is even constructed).
+
+The flush floor is asserted by *accounting*, not by differencing two
+noisy wall-clock runs: count the sample lines the run actually wrote,
+micro-benchmark the per-flush cost on the same machine, and bound
+``flushes x per_flush_seconds / sweep_seconds``.  Two end-to-end runs
+differ by scheduler noise far larger than 2%; the accounting bound is
+stable because both factors are measured tightly.
 """
 
+import json
 import time
 
 from repro.core.sweeps import sweep_cells
 from repro.errors import QuarantinedCellError
+from repro.experiments import common, fig04_crf_sweep, run_experiment
+from repro.obs.context import ObsContext
 from repro.obs.span import active_tracer
+from repro.obs.telemetry import TelemetrySink
 
 N_CELLS = 200
 BEST_OF = 7
+
+#: Telemetry may cost at most this fraction of a pooled sweep.
+TELEMETRY_OVERHEAD_FLOOR = 0.02
 
 
 def _work(point):
@@ -66,3 +81,70 @@ def test_disabled_tracer_overhead_under_five_percent():
         f"disabled-tracer sweep_cells is {ratio:.3f}x the no-obs "
         f"baseline ({instrumented * 1e3:.2f}ms vs {baseline * 1e3:.2f}ms)"
     )
+
+
+def _per_flush_seconds(tmp_path) -> float:
+    """Best-of-N cost of one telemetry flush, with a busy registry."""
+    obs = ObsContext()
+    for i in range(20):
+        obs.metrics.counter(f"bench.counter.{i}").inc(i)
+        obs.metrics.gauge(f"bench.gauge.{i}").set(i)
+    sink = TelemetrySink(str(tmp_path / "flush-bench.jsonl"), obs=obs)
+    rounds = 50
+    best = float("inf")
+    for _ in range(BEST_OF):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            sink.flush()
+        best = min(best, time.perf_counter() - start)
+    return best / rounds
+
+
+def test_telemetry_flush_overhead_under_two_percent(tmp_path, monkeypatch):
+    """Enabled: flush cost is <2% of a pooled fig04 sweep's wall time."""
+    grid = (35,)
+    monkeypatch.setattr(common, "sweep_crfs", lambda: grid)
+    monkeypatch.setattr(fig04_crf_sweep, "sweep_crfs", lambda: grid)
+    run_dir = tmp_path / "run"
+    start = time.perf_counter()
+    run_experiment("fig04", run_dir=str(run_dir), workers=2)
+    sweep_seconds = time.perf_counter() - start
+
+    flushes = 0
+    for stream in sorted((run_dir / "telemetry").glob("*.jsonl")):
+        with open(stream, encoding="utf-8") as handle:
+            flushes += sum(1 for line in handle if line.strip())
+    assert flushes > 0, "telemetry enabled but no samples were written"
+
+    per_flush = _per_flush_seconds(tmp_path)
+    overhead = flushes * per_flush / sweep_seconds
+    print(
+        f"BENCH_obs: {flushes} flushes x {per_flush * 1e6:.1f}us over "
+        f"{sweep_seconds:.2f}s sweep = {overhead:.4%} overhead"
+    )
+    assert overhead < TELEMETRY_OVERHEAD_FLOOR, (
+        f"telemetry flush path costs {overhead:.2%} of the pooled "
+        f"sweep (floor {TELEMETRY_OVERHEAD_FLOOR:.0%}): {flushes} "
+        f"flushes at {per_flush * 1e6:.1f}us over {sweep_seconds:.2f}s"
+    )
+
+
+def test_telemetry_disabled_writes_nothing(tmp_path, monkeypatch):
+    """Disabled: no run dir means no sink, no streams, no flushes.
+
+    The disabled path is structural — ``_worker_cell`` guards on a
+    ``None`` field and never constructs a sink — so "~0 overhead" is
+    asserted as *absence*, not as a noise-prone timing ratio.
+    """
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("REPRO_RUN_DIR", raising=False)
+    grid = (60,)
+    monkeypatch.setattr(common, "sweep_crfs", lambda: grid)
+    monkeypatch.setattr(fig04_crf_sweep, "sweep_crfs", lambda: grid)
+    result = run_experiment("fig04", workers=2)
+    assert result.provenance["parallel"].get("run_dir") is None
+    leftovers = [
+        path for path in tmp_path.rglob("*.jsonl")
+        if "telemetry" in str(path)
+    ]
+    assert leftovers == [], f"telemetry written while disabled: {leftovers}"

@@ -99,6 +99,13 @@ def test_sweep_speedups(tmp_path, monkeypatch):
         "parallel_seconds": round(parallel_seconds, 3),
         "warm_speedup": round(cold_seconds / warm_seconds, 2),
         "parallel_speedup": round(cold_seconds / parallel_seconds, 2),
+        # The floors travel with the measurements so `repro bench
+        # --check` can re-apply them without knowing this module; a
+        # null floor marks a measurement recorded without assertion.
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+        "parallel_speedup_floor": (
+            None if floor_skipped is not None else POOL_SPEEDUP_FLOOR
+        ),
         # Distinguishes "floor not asserted" (with the reason) from
         # "asserted and passed" in the recorded trajectory.
         "floor_skipped": floor_skipped,

@@ -1,0 +1,29 @@
+"""Perf-trajectory gating over the committed ``BENCH_*.json`` files.
+
+The benchmark suites (``benchmarks/``) end by dumping their measured
+numbers — speedups, parity bits, floors — into ``BENCH_*.json`` at the
+repo root.  This package is the *reader* side: ``repro bench --check``
+loads those files, re-applies every recorded floor with a tolerance
+band, and fails (exit 1) on regression, so CI guards the performance
+trajectory the same way it guards correctness.
+"""
+
+from .check import (
+    BENCH_GLOB,
+    FloorCheck,
+    append_history,
+    check_files,
+    check_payload,
+    discover_bench_files,
+    format_results,
+)
+
+__all__ = [
+    "BENCH_GLOB",
+    "FloorCheck",
+    "append_history",
+    "check_files",
+    "check_payload",
+    "discover_bench_files",
+    "format_results",
+]

@@ -1,0 +1,223 @@
+"""The ``repro bench --check`` engine: floors, tolerance, history.
+
+A ``BENCH_*.json`` payload is a flat-ish dict of measured numbers.
+Two key conventions carry the whole contract:
+
+- ``<name>_floor`` — the recorded minimum acceptable value for the
+  measurement ``<name>`` in the same payload.  The check passes when
+  ``value >= floor * (1 - tolerance)``; the tolerance band absorbs
+  machine-to-machine noise without letting a real regression hide.  A
+  ``null`` floor means the suite could not measure a meaningful floor
+  on the recording machine (see ``floor_skipped``) and the check is
+  reported as skipped, not failed.
+- ``<name>_parity`` — a boolean bit-parity verdict that must be
+  ``true``; parity has no tolerance band, ever.
+
+Anything else in the payload is context and travels untouched into the
+history trajectory (``BENCH_history.jsonl``), one append-only record
+per checked file per run, so the numbers plot over time.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ReproError
+
+#: Where the committed trajectories live, relative to the repo root.
+BENCH_GLOB = "BENCH_*.json"
+#: Default noise band for floor comparisons (10%).
+DEFAULT_TOLERANCE = 0.10
+HISTORY_FILE = "BENCH_history.jsonl"
+
+_FLOOR_SUFFIX = "_floor"
+_PARITY_SUFFIX = "_parity"
+
+
+class BenchCheckError(ReproError):
+    """A BENCH payload that cannot be checked at all."""
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """Verdict for one floor or parity key in one payload."""
+
+    file: str
+    name: str                  # measurement name ("replay_speedup")
+    value: float | bool | None
+    floor: float | None        # None for parity checks / skipped floors
+    tolerance: float
+    ok: bool
+    skipped: bool = False
+    reason: str | None = None
+
+    def describe(self) -> str:
+        state = "SKIP" if self.skipped else ("ok" if self.ok else "FAIL")
+        if self.floor is not None:
+            detail = (
+                f"{self.value} >= {self.floor} "
+                f"(-{self.tolerance:.0%} band)"
+            )
+        elif self.skipped:
+            detail = self.reason or "no floor recorded"
+        else:
+            detail = f"parity={self.value}"
+        return f"[{state:<4}] {self.file}: {self.name}: {detail}"
+
+
+def check_payload(
+    payload: dict[str, Any],
+    *,
+    file: str = "<payload>",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[FloorCheck]:
+    """Apply every floor/parity convention in one payload."""
+    if not isinstance(payload, dict):
+        raise BenchCheckError(f"{file}: BENCH payload must be an object")
+    if not 0 <= tolerance < 1:
+        raise BenchCheckError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    skip_reason = payload.get("floor_skipped")
+    results: list[FloorCheck] = []
+    for key in sorted(payload):
+        if key.endswith(_FLOOR_SUFFIX):
+            name = key[: -len(_FLOOR_SUFFIX)]
+            floor = payload[key]
+            value = payload.get(name)
+            if floor is None:
+                results.append(
+                    FloorCheck(
+                        file=file, name=name, value=value, floor=None,
+                        tolerance=tolerance, ok=True, skipped=True,
+                        reason=(
+                            str(skip_reason)
+                            if skip_reason
+                            else "floor recorded as null"
+                        ),
+                    )
+                )
+                continue
+            if not isinstance(floor, (int, float)) or isinstance(
+                floor, bool
+            ):
+                raise BenchCheckError(
+                    f"{file}: {key} must be a number or null, "
+                    f"got {floor!r}"
+                )
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                results.append(
+                    FloorCheck(
+                        file=file, name=name, value=None, floor=floor,
+                        tolerance=tolerance, ok=False,
+                        reason=f"measurement {name!r} missing",
+                    )
+                )
+                continue
+            ok = value >= floor * (1 - tolerance)
+            results.append(
+                FloorCheck(
+                    file=file, name=name, value=value, floor=float(floor),
+                    tolerance=tolerance, ok=ok,
+                    reason=None if ok else (
+                        f"{name} regressed: {value} < "
+                        f"{floor} - {tolerance:.0%}"
+                    ),
+                )
+            )
+        elif key.endswith(_PARITY_SUFFIX):
+            name = key[: -len(_PARITY_SUFFIX)]
+            value = payload[key]
+            ok = value is True
+            results.append(
+                FloorCheck(
+                    file=file, name=key, value=value, floor=None,
+                    tolerance=0.0, ok=ok,
+                    reason=None if ok else (
+                        f"{name} parity broken (got {value!r})"
+                    ),
+                )
+            )
+    return results
+
+
+def discover_bench_files(root: str = ".") -> list[str]:
+    """The committed ``BENCH_*.json`` trajectories under ``root``."""
+    return sorted(glob.glob(os.path.join(root, BENCH_GLOB)))
+
+
+def check_files(
+    paths: list[str], *, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple[list[FloorCheck], bool]:
+    """Check every payload; returns (all verdicts, overall pass)."""
+    results: list[FloorCheck] = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchCheckError(
+                f"cannot load BENCH file {path!r}: {exc}"
+            ) from exc
+        results.extend(
+            check_payload(
+                payload,
+                file=os.path.basename(path),
+                tolerance=tolerance,
+            )
+        )
+    passed = all(r.ok for r in results)
+    return results, passed
+
+
+def append_history(
+    paths: list[str],
+    results: list[FloorCheck],
+    history_path: str = HISTORY_FILE,
+) -> int:
+    """Append one trajectory point per checked file; returns count.
+
+    The history is append-only JSONL (same crash posture as every
+    other run artifact): each record carries the payload's measured
+    numbers plus the check verdict, timestamped, so regressions are
+    visible as a series and not just as a CI failure.
+    """
+    stamp = time.time()
+    written = 0
+    with open(history_path, "a", encoding="utf-8") as handle:
+        for path in paths:
+            with open(path, encoding="utf-8") as bench:
+                payload = json.load(bench)
+            name = os.path.basename(path)
+            verdicts = [r for r in results if r.file == name]
+            record = {
+                "wall": stamp,
+                "file": name,
+                "payload": payload,
+                "checks": {
+                    r.name: ("skip" if r.skipped else r.ok)
+                    for r in verdicts
+                },
+                "ok": all(r.ok for r in verdicts),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def format_results(results: list[FloorCheck]) -> str:
+    lines = [r.describe() for r in results]
+    failed = sum(1 for r in results if not r.ok)
+    skipped = sum(1 for r in results if r.skipped)
+    lines.append(
+        f"bench check: {len(results)} check(s), "
+        f"{failed} failure(s), {skipped} skipped"
+    )
+    return "\n".join(lines)

@@ -14,7 +14,17 @@ Four commands cover the library's workflows:
 ``cache``
     Inspect (``--stats``) or empty (``--clear``) a result cache.
 ``trace``
-    Validate a captured Chrome trace or summarise a span log.
+    Validate a captured Chrome trace or span log, or summarise one.
+``status``
+    Render the live (or post-mortem) state of a ``--run-dir`` run
+    from its on-disk artifacts alone.
+``report``
+    Fuse a run directory's ledger, span log and telemetry into one
+    run-health report (slowest cells, retry blame, fault timeline).
+``bench``
+    Check the committed ``BENCH_*.json`` perf trajectories against
+    their recorded floors (``--check``); exits non-zero on
+    regression.
 ``validate``
     Regenerate the claimed experiments and machine-check the paper's
     claims (plus the simulator's structural invariants) against them;
@@ -24,6 +34,7 @@ Four commands cover the library's workflows:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -37,6 +48,7 @@ from .obs.export import (
     read_span_log,
     timing_summary,
     validate_chrome_trace_file,
+    validate_span_log_file,
 )
 from .profiling import format_perf_report
 from .validate import (
@@ -116,9 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics-registry snapshot as JSON",
     )
     experiment.add_argument(
+        "--metrics-prom", default=None, metavar="PATH",
+        help="write the metrics snapshot in OpenMetrics/Prometheus "
+             "text format",
+    )
+    experiment.add_argument(
         "--span-log", default=None, metavar="PATH",
         help="write the raw span/event JSONL log (default: alongside "
              "the run ledger when one is in use)",
+    )
+    experiment.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="collect every run artifact (ledger, span log, metrics, "
+             "trace, manifest, worker telemetry, heartbeats) under "
+             "DIR; 'repro status DIR' and 'repro report DIR' read it "
+             "(default: REPRO_RUN_DIR, else off)",
     )
     experiment.add_argument(
         "--workers", type=_nonnegative_int, default=None, metavar="N",
@@ -216,12 +240,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="validate or summarise captured run telemetry"
     )
     trace.add_argument(
-        "--validate", default=None, metavar="TRACE_JSON",
-        help="schema-check a Chrome Trace Event file",
+        "--validate", default=None, metavar="ARTIFACT",
+        help="schema-check a telemetry artifact: a Chrome Trace Event "
+             "file (*.json) or a span log (*.jsonl)",
     )
     trace.add_argument(
         "--summary", default=None, metavar="SPANS_JSONL",
         help="print a hierarchical timing summary of a span log",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="show a run directory's live or post-mortem state",
+    )
+    status.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory written by 'repro experiment --run-dir'",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="print the raw status aggregate as JSON",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="fuse a run directory's artifacts into a health report",
+    )
+    report.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory written by 'repro experiment --run-dir'",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report here (the CI artifact)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="check committed BENCH_*.json perf floors",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare each BENCH file's measurements against its "
+             "recorded *_floor/*_parity keys; exit 1 on regression",
+    )
+    bench.add_argument(
+        "files", nargs="*", metavar="BENCH_JSON",
+        help="BENCH files to check (default: ./BENCH_*.json)",
+    )
+    bench.add_argument(
+        "--tolerance", type=_positive_float, default=None,
+        metavar="FRACTION",
+        help="noise band below each floor that still passes "
+             "(default: 0.10)",
+    )
+    bench.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append one trajectory point per checked file here "
+             "(JSONL; default: no history)",
     )
     return parser
 
@@ -280,12 +360,19 @@ def _run_trace_command(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     if args.validate is not None:
-        problems = validate_chrome_trace_file(args.validate)
+        # Dispatch on extension: span logs are JSONL, Chrome traces
+        # are a single JSON object.
+        if args.validate.endswith(".jsonl"):
+            problems = validate_span_log_file(args.validate)
+            kind = "span log"
+        else:
+            problems = validate_chrome_trace_file(args.validate)
+            kind = "Chrome Trace Event file"
         if problems:
             for problem in problems:
                 print(f"error: {problem}", file=sys.stderr)
             return 2
-        print(f"{args.validate}: valid Chrome Trace Event file")
+        print(f"{args.validate}: valid {kind}")
     if args.summary is not None:
         try:
             spans, events = read_span_log(args.summary)
@@ -299,6 +386,71 @@ def _run_trace_command(args: argparse.Namespace) -> int:
             for event in warnings:
                 print(f"  [{event.kind}] {event.message}")
     return 0
+
+
+def _run_status_command(args: argparse.Namespace) -> int:
+    """``repro status``: render a run directory's on-disk state."""
+    from dataclasses import asdict
+
+    from .obs.runstatus import format_status, load_run_status
+
+    status = load_run_status(args.run_dir)
+    if args.json:
+        payload = asdict(status)
+        payload["cells_completed"] = status.cells_completed
+        payload["eta_seconds"] = status.eta_seconds()
+        payload["throughput"] = status.throughput()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
+def _run_report_command(args: argparse.Namespace) -> int:
+    """``repro report``: the fused run-health report."""
+    from .obs.report import format_report, run_report
+
+    report = run_report(args.run_dir)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0
+
+
+def _run_bench_command(args: argparse.Namespace) -> int:
+    """``repro bench --check``: the perf-trajectory regression gate."""
+    from .bench import (
+        append_history,
+        check_files,
+        discover_bench_files,
+        format_results,
+    )
+    from .bench.check import DEFAULT_TOLERANCE
+
+    if not args.check:
+        print("error: bench requires --check", file=sys.stderr)
+        return 2
+    paths = args.files or discover_bench_files()
+    if not paths:
+        print("error: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    try:
+        results, passed = check_files(paths, tolerance=tolerance)
+        if args.history is not None:
+            append_history(paths, results, args.history)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_results(results))
+    return 0 if passed else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -329,7 +481,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ledger_path=args.ledger,
                 trace_out=args.trace_out,
                 metrics_json=args.metrics_json,
+                metrics_prom=args.metrics_prom,
                 span_log=args.span_log,
+                run_dir=args.run_dir,
                 workers=args.workers,
                 cache_dir=args.cache_dir,
                 heartbeat_interval=args.heartbeat_interval,
@@ -364,6 +518,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "trace":
         return _run_trace_command(args)
+
+    if args.command == "status":
+        return _run_status_command(args)
+
+    if args.command == "report":
+        return _run_report_command(args)
+
+    if args.command == "bench":
+        return _run_bench_command(args)
 
     return 1  # pragma: no cover - argparse enforces the choices
 

@@ -22,19 +22,37 @@ sibling of the run ledger).
 
 from __future__ import annotations
 
+import json
 import os
 import re
+import time
 from typing import Callable
 
 from ..core.report import ExperimentResult
-from ..errors import ExperimentError, ObservabilityError
+from ..errors import (
+    ExperimentError,
+    ObservabilityError,
+    SweepInterruptedError,
+)
 from ..obs import events as obs_events
 from ..obs.context import ObsContext, activate_obs
 from ..obs.export import write_chrome_trace, write_span_log
+from ..obs.openmetrics import write_openmetrics
+from ..obs.telemetry import (
+    LEDGER_FILE,
+    MANIFEST_FILE,
+    METRICS_JSON_FILE,
+    METRICS_PROM_FILE,
+    SPAN_LOG_FILE,
+    TRACE_FILE,
+    open_sink,
+    telemetry_dir,
+)
 from ..parallel.pool import (
     ParallelConfig,
     activate_parallel,
     resolve_cache_dir,
+    resolve_run_dir,
     resolve_supervision,
     resolve_workers,
 )
@@ -126,6 +144,21 @@ def default_span_log_path(ledger_path: str) -> str:
     return f"{stem}.spans.jsonl"
 
 
+def _write_manifest(run_dir: str, manifest: dict) -> None:
+    """Write/replace the run directory's ``run.json`` (best effort).
+
+    The manifest is advisory metadata for ``repro status`` — a run
+    must never die because its description could not be written.
+    """
+    path = os.path.join(run_dir, MANIFEST_FILE)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass
+
+
 def run_experiment(
     experiment_id: str,
     *,
@@ -136,7 +169,9 @@ def run_experiment(
     fault_plan: FaultPlan | None = None,
     trace_out: str | None = None,
     metrics_json: str | None = None,
+    metrics_prom: str | None = None,
     span_log: str | None = None,
+    run_dir: str | None = None,
     obs: ObsContext | None = None,
     workers: int | None = None,
     cache_dir: str | None = None,
@@ -168,10 +203,24 @@ def run_experiment(
         (loadable in Perfetto / ``about:tracing``).
     metrics_json:
         Write the run's metrics-registry snapshot as JSON here.
+    metrics_prom:
+        Write the snapshot in OpenMetrics/Prometheus text format here
+        (the scrapeable twin of ``metrics_json``).
     span_log:
         Write the raw span/event JSONL log here.  Defaults to a
         ``<experiment>.spans.jsonl`` sibling of the run ledger
         whenever one is in use.
+    run_dir:
+        Collect every run artifact under one directory: the ledger
+        (``ledger.jsonl``), span log (``spans.jsonl``), metrics
+        snapshots (``metrics.json``/``metrics.prom``), Chrome trace
+        (``trace.json``), a ``run.json`` manifest, per-process
+        telemetry streams (``telemetry/``) and the pool's heartbeat
+        sidecars (``heartbeats/``) — the artifact contract
+        ``repro status`` and ``repro report`` read (see
+        OBSERVABILITY.md).  Implies checkpointing; explicit artifact
+        paths still win over the run-dir defaults.  Defaults to
+        ``REPRO_RUN_DIR``, else off.
     obs:
         An explicit :class:`~repro.obs.ObsContext` to collect into
         (testing — e.g. with a fake clock); one is created per run
@@ -219,6 +268,25 @@ def run_experiment(
             f"{', '.join(EXPERIMENTS)}"
         ) from None
 
+    run_dir = resolve_run_dir(run_dir)
+    if run_dir is not None:
+        try:
+            os.makedirs(run_dir, exist_ok=True)
+        except OSError as exc:
+            raise ExperimentError(
+                f"cannot create run directory {run_dir!r}: {exc}"
+            ) from exc
+        if ledger_path is None:
+            ledger_path = os.path.join(run_dir, LEDGER_FILE)
+        if span_log is None:
+            span_log = os.path.join(run_dir, SPAN_LOG_FILE)
+        if metrics_json is None:
+            metrics_json = os.path.join(run_dir, METRICS_JSON_FILE)
+        if metrics_prom is None:
+            metrics_prom = os.path.join(run_dir, METRICS_PROM_FILE)
+        if trace_out is None:
+            trace_out = os.path.join(run_dir, TRACE_FILE)
+
     resilient = (
         resume
         or max_retries is not None
@@ -229,61 +297,116 @@ def run_experiment(
     if resume and ledger_path is None:
         ledger_path = default_ledger_path(experiment_id)
 
+    supervision = resolve_supervision(
+        heartbeat_interval, max_worker_restarts
+    )
     parallel = ParallelConfig(
         workers=workers,
         cache_dir=cache_dir,
         cache_salt=cache_salt,
         heartbeat_interval=heartbeat_interval,
         max_worker_restarts=max_worker_restarts,
+        run_dir=run_dir,
     )
     obs_context = obs if obs is not None else ObsContext()
-    with activate_obs(obs_context), activate_parallel(parallel), \
-            drain_guard():
-        with obs_context.tracer.span("session", experiment=experiment_id):
-            if not resilient:
-                result = _call_runner(experiment_id, runner, kwargs)
-                context = None
-            else:
-                policy = ExecutionPolicy(
-                    retry=(
-                        RetryPolicy(max_retries=max_retries)
-                        if max_retries is not None
-                        else NO_RETRY
-                    ),
-                    cell_timeout=cell_timeout,
-                    ledger_path=ledger_path,
-                    resume=resume,
-                    faults=fault_plan,
-                )
-                context = ExecutionContext(policy, experiment_id=experiment_id)
-                with activate(context):
-                    result = _call_runner(experiment_id, runner, kwargs)
-        supervision = resolve_supervision(
-            heartbeat_interval, max_worker_restarts
-        )
-        result.provenance["parallel"] = {
+    manifest: dict = {}
+    if run_dir is not None:
+        manifest = {
+            "schema_version": 1,
+            "experiment_id": experiment_id,
+            "status": "running",
+            "started_wall": time.time(),
+            "pid": os.getpid(),
             "workers": resolve_workers(workers),
-            "cache_dir": resolve_cache_dir(cache_dir),
-            "heartbeat_interval": supervision.heartbeat_interval,
-            "max_worker_restarts": supervision.max_worker_restarts,
         }
-        if context is not None:
-            result.provenance.update(context.guard.provenance())
-            quarantined = context.guard.quarantined_keys()
-            if quarantined:
-                obs_events.emit(
-                    "experiment.quarantined",
-                    f"{experiment_id}: {len(quarantined)} cell(s) "
-                    f"quarantined",
-                    experiment=experiment_id,
-                    cells=quarantined,
-                )
-        if validate_claims:
-            # Imported at call time: repro.validate pulls in this
-            # module for its engine, so a top-level import would cycle.
-            from ..validate.claims import evaluate_result_claims
+        _write_manifest(run_dir, manifest)
+        obs_context.telemetry = open_sink(
+            telemetry_dir(run_dir),
+            role="parent",
+            obs=obs_context,
+            interval=supervision.heartbeat_interval,
+        )
+    outcome, error_text = "complete", None
+    try:
+        with activate_obs(obs_context), activate_parallel(parallel), \
+                drain_guard():
+            with obs_context.tracer.span(
+                "session", experiment=experiment_id
+            ):
+                if not resilient:
+                    result = _call_runner(experiment_id, runner, kwargs)
+                    context = None
+                else:
+                    policy = ExecutionPolicy(
+                        retry=(
+                            RetryPolicy(max_retries=max_retries)
+                            if max_retries is not None
+                            else NO_RETRY
+                        ),
+                        cell_timeout=cell_timeout,
+                        ledger_path=ledger_path,
+                        resume=resume,
+                        faults=fault_plan,
+                    )
+                    context = ExecutionContext(
+                        policy, experiment_id=experiment_id
+                    )
+                    with activate(context):
+                        result = _call_runner(experiment_id, runner, kwargs)
+            result.provenance["parallel"] = {
+                "workers": resolve_workers(workers),
+                "cache_dir": resolve_cache_dir(cache_dir),
+                "heartbeat_interval": supervision.heartbeat_interval,
+                "max_worker_restarts": supervision.max_worker_restarts,
+            }
+            if run_dir is not None:
+                result.provenance["parallel"]["run_dir"] = run_dir
+            if context is not None:
+                result.provenance.update(context.guard.provenance())
+                quarantined = context.guard.quarantined_keys()
+                if quarantined:
+                    obs_events.emit(
+                        "experiment.quarantined",
+                        f"{experiment_id}: {len(quarantined)} cell(s) "
+                        f"quarantined",
+                        experiment=experiment_id,
+                        cells=quarantined,
+                    )
+            if validate_claims:
+                # Imported at call time: repro.validate pulls in this
+                # module for its engine, so a top-level import would
+                # cycle.
+                from ..validate.claims import evaluate_result_claims
 
-            evaluate_result_claims(result)
+                evaluate_result_claims(result)
+    except SweepInterruptedError as exc:
+        outcome, error_text = "interrupted", str(exc)
+        raise
+    except BaseException as exc:
+        outcome, error_text = "error", f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        if obs_context.telemetry is not None:
+            obs_context.telemetry.stop(outcome=outcome)
+            obs_context.telemetry = None
+        if run_dir is not None:
+            manifest["status"] = outcome
+            manifest["ended_wall"] = time.time()
+            if error_text is not None:
+                manifest["error"] = error_text
+            _write_manifest(run_dir, manifest)
+        if outcome != "complete":
+            # Best-effort artifact flush: an interrupted or crashed
+            # run's spans/metrics are exactly what a post-mortem
+            # wants, and a failed export must not mask the original
+            # exception.
+            _flush_artifacts(
+                obs_context,
+                span_log=span_log,
+                metrics_json=metrics_json,
+                metrics_prom=metrics_prom,
+                best_effort=True,
+            )
     result.provenance["telemetry"] = obs_context.telemetry_summary()
 
     spans = obs_context.tracer.spans
@@ -291,11 +414,46 @@ def run_experiment(
         write_chrome_trace(trace_out, spans)
     if metrics_json is not None:
         _write_metrics_json(metrics_json, obs_context)
+    if metrics_prom is not None:
+        write_openmetrics(metrics_prom, obs_context.metrics.snapshot())
     if span_log is None and ledger_path is not None:
         span_log = default_span_log_path(ledger_path)
     if span_log is not None:
         write_span_log(span_log, spans, obs_context.events.events)
     return result
+
+
+def _flush_artifacts(
+    obs_context: ObsContext,
+    *,
+    span_log: str | None,
+    metrics_json: str | None,
+    metrics_prom: str | None,
+    best_effort: bool,
+) -> None:
+    """Export the span log and metrics snapshots (exception path)."""
+    for path, write in (
+        (
+            span_log,
+            lambda p: write_span_log(
+                p, obs_context.tracer.spans, obs_context.events.events
+            ),
+        ),
+        (metrics_json, lambda p: _write_metrics_json(p, obs_context)),
+        (
+            metrics_prom,
+            lambda p: write_openmetrics(
+                p, obs_context.metrics.snapshot()
+            ),
+        ),
+    ):
+        if path is None:
+            continue
+        try:
+            write(path)
+        except Exception:  # noqa: BLE001 - must not mask the original
+            if not best_effort:
+                raise
 
 
 def _write_metrics_json(path: str, obs_context: ObsContext) -> None:

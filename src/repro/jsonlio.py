@@ -1,0 +1,144 @@
+"""Torn-line-tolerant JSONL reading, shared by every run artifact.
+
+Three of the run directory's artifacts are append-only JSONL files
+written by processes that may die mid-write: the resilience ledger,
+the span log and the per-worker telemetry files.  All three therefore
+share one failure signature — a *torn final line*, the partial record
+a crash left behind — and one contract for reading it back:
+
+- a torn **final** line is expected and tolerated: the reader drops it
+  (and can optionally truncate it off the file, so a later append
+  cannot concatenate onto the fragment and turn it into mid-file
+  corruption);
+- corruption anywhere **but** the final line still raises, because
+  that means something other than a crash-mid-append happened.
+
+:func:`load_jsonl` is that shared reader.  Writers that *append* to a
+possibly-torn file call :func:`clean_tail` first, which durably
+truncates a torn final line so the new record starts on a fresh line.
+
+This module deliberately has no repro-internal imports (no metrics, no
+events): callers own their error types and their instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TornLine:
+    """Description of a torn (unparseable) final JSONL line."""
+
+    line: str          # the fragment, as read
+    offset: int        # byte offset of the fragment's first byte
+    truncated: bool    # whether the fragment was removed from disk
+
+
+def truncate_at(path: str, offset: int) -> None:
+    """Durably cut ``path`` down to ``offset`` bytes.
+
+    Raises :class:`OSError` when the file cannot be rewritten (the
+    caller decides whether that is fatal — it is for the ledger, whose
+    next append must not land on the fragment, but not for a read-only
+    artifact viewer).
+    """
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_jsonl(
+    path: str,
+    parse: Callable[[str], Any] = json.loads,
+    *,
+    truncate_torn: bool = False,
+) -> tuple[list[Any], TornLine | None]:
+    """Read a JSONL file, tolerating a torn final line.
+
+    ``parse`` converts one line to one record; whatever it raises on a
+    **non-final** line propagates unchanged (mid-file corruption is the
+    caller's error to classify).  A final line ``parse`` rejects is
+    returned as a :class:`TornLine` instead of a record; with
+    ``truncate_torn`` the fragment is also durably removed from the
+    file (an :class:`OSError` from that propagates).
+
+    Blank lines are skipped.  Returns ``(records, torn)`` where
+    ``torn`` is ``None`` for a clean file.
+    """
+    with open(path, encoding="utf-8") as handle:
+        content = handle.read()
+    lines = content.splitlines()
+    records: list[Any] = []
+    offset = 0
+    for index, line in enumerate(lines):
+        start = offset
+        offset += len(line.encode("utf-8")) + 1
+        if not line.strip():
+            continue
+        try:
+            records.append(parse(line))
+        except Exception:
+            if index != len(lines) - 1:
+                raise
+            if truncate_torn:
+                truncate_at(path, start)
+            return records, TornLine(
+                line=line, offset=start, truncated=truncate_torn
+            )
+    return records, None
+
+
+def clean_tail(
+    path: str, parse: Callable[[str], Any] = json.loads
+) -> TornLine | None:
+    """Remove a torn final line before appending to ``path``.
+
+    Cheap pre-append guard for append-only JSONL writers: reads only
+    the file's tail, and when the final line does not parse (and the
+    file does not end in a newline — i.e. the signature of a crash
+    mid-append, not a merely-odd record), truncates it durably.
+    Returns what was dropped, ``None`` when the tail was clean or the
+    file does not exist.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return None
+    if size == 0:
+        return None
+    # Read a tail window generously larger than any one record line.
+    window = min(size, 1 << 16)
+    with open(path, "rb") as handle:
+        handle.seek(size - window)
+        tail = handle.read(window)
+    if tail.endswith(b"\n"):
+        return None
+    # The final line is unterminated: a crash mid-append.  Find it.
+    cut = tail.rfind(b"\n")
+    if cut < 0 and window < size:
+        # One unterminated line larger than the window: treat the
+        # whole window start as unknown and re-read fully.
+        records, torn = load_jsonl(path, parse, truncate_torn=True)
+        return torn
+    fragment = tail[cut + 1:]
+    offset = size - len(fragment)
+    try:
+        parse(fragment.decode("utf-8", "replace"))
+    except Exception:
+        truncate_at(path, offset)
+        return TornLine(
+            line=fragment.decode("utf-8", "replace"),
+            offset=offset,
+            truncated=True,
+        )
+    # Parseable but unterminated (flush raced the newline): terminate
+    # it so the next append starts cleanly.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n")
+        handle.flush()
+    return None

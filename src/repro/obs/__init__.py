@@ -17,6 +17,14 @@ branch event rates) in a metrics registry.
   (Perfetto-loadable) export, plain-text timing summary.
 - :mod:`repro.obs.context` — :class:`ObsContext`, installed per
   ``run_experiment`` call like the resilience ``ExecutionContext``.
+- :mod:`repro.obs.telemetry` — live per-process sample streams in a
+  run directory (:class:`TelemetrySink`), the raw material of
+  ``repro status``.
+- :mod:`repro.obs.runstatus` / :mod:`repro.obs.report` — readers
+  fusing the run-directory artifacts into a live status aggregate and
+  a post-mortem run-health report (imported lazily by the CLI).
+- :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text
+  exposition of a metrics snapshot (the ``metrics.prom`` artifact).
 
 Capture a trace from the CLI::
 
@@ -33,8 +41,15 @@ from .export import (
     timing_summary,
     validate_chrome_trace,
     validate_chrome_trace_file,
+    validate_span_log_file,
     write_chrome_trace,
     write_span_log,
+)
+from .openmetrics import render_openmetrics, write_openmetrics
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetrySink,
+    read_telemetry,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -57,6 +72,8 @@ from .span import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "SPAN_LOG_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetrySink",
     "Counter",
     "Event",
     "EventLog",
@@ -74,13 +91,17 @@ __all__ = [
     "current_obs",
     "emit",
     "read_span_log",
+    "read_telemetry",
     "record_metric",
+    "render_openmetrics",
     "timing_summary",
     "trace_span",
     "traced",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "validate_span_log_file",
     "walk",
+    "write_openmetrics",
     "warn",
     "write_chrome_trace",
     "write_span_log",

@@ -29,6 +29,11 @@ class ObsContext:
         self.tracer = Tracer(clock=clock)
         self.metrics = MetricsRegistry()
         self.events = EventLog(clock=clock)
+        #: The run's parent :class:`~repro.obs.telemetry.TelemetrySink`
+        #: (attached by ``run_experiment`` when a run directory is in
+        #: use; ``None`` otherwise — the disabled path stays one
+        #: attribute read).
+        self.telemetry: Any = None
 
     # -- summaries ---------------------------------------------------
 

@@ -25,6 +25,7 @@ import os
 from typing import Any, Iterable
 
 from ..errors import ObservabilityError
+from ..jsonlio import clean_tail, load_jsonl
 from .events import Event
 from .span import Span
 
@@ -55,11 +56,17 @@ def span_log_lines(
 def write_span_log(
     path: str, spans: Iterable[Span], events: Iterable[Event] = ()
 ) -> int:
-    """Append spans/events to a JSONL span log; returns lines written."""
+    """Append spans/events to a JSONL span log; returns lines written.
+
+    A torn final line left by a crashed earlier run is truncated off
+    before appending (same policy as the ledger, same shared helper),
+    so the new records cannot concatenate onto the fragment.
+    """
     lines = span_log_lines(spans, events)
     parent = os.path.dirname(os.path.abspath(path))
     try:
         os.makedirs(parent, exist_ok=True)
+        clean_tail(path)
         with open(path, "a", encoding="utf-8") as handle:
             for line in lines:
                 handle.write(line + "\n")
@@ -70,56 +77,133 @@ def write_span_log(
     return len(lines)
 
 
+def _parse_span_log_record(line: str) -> Span | Event:
+    """One span-log line -> a Span or Event (the shared-reader parse)."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ObservabilityError(
+            f"span-log record must be an object, got {type(record).__name__}"
+        )
+    version = record.get("schema_version", SPAN_LOG_SCHEMA_VERSION)
+    if version != SPAN_LOG_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"span-log schema version {version!r} unsupported "
+            f"(expected {SPAN_LOG_SCHEMA_VERSION})"
+        )
+    kind = record.get("type")
+    if kind == "span":
+        return Span(
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            name=record["name"],
+            start=record["start"],
+            end=record.get("end"),
+            status=record.get("status", "ok"),
+            error=record.get("error"),
+            thread=record.get("thread", 0),
+            attrs=record.get("attrs", {}),
+        )
+    if kind == "event":
+        return Event(
+            kind=record["kind"],
+            message=record["message"],
+            time=record["time"],
+            level=record.get("level", "info"),
+            fields=record.get("fields", {}),
+        )
+    raise ObservabilityError(
+        f"unknown span-log record type {kind!r}"
+    )
+
+
 def read_span_log(path: str) -> tuple[list[Span], list[Event]]:
-    """Rebuild spans and events from a JSONL span log."""
+    """Rebuild spans and events from a JSONL span log.
+
+    Torn-line tolerant exactly like the ledger: a torn *final* line
+    (crashed run, killed mid-append) is dropped, and truncated off the
+    file when it is writable so a later append stays clean; corruption
+    or an unknown schema version anywhere else raises
+    :class:`~repro.errors.ObservabilityError`.
+    """
+    try:
+        records, _ = load_jsonl(
+            path, _parse_span_log_record, truncate_torn=True
+        )
+    except ObservabilityError as exc:
+        raise ObservabilityError(f"{path}: {exc}") from exc
+    except OSError:
+        # Either the file is unreadable, or the torn-tail truncation
+        # failed (a read-only artifact).  Retry dropping the tail
+        # without repairing the file; reraise only if reading fails.
+        try:
+            records, _ = load_jsonl(path, _parse_span_log_record)
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{path}: {exc}") from exc
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read span log {path!r}: {exc}"
+            ) from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"{path}: corrupt span-log line: {exc}"
+        ) from exc
+    spans = [r for r in records if isinstance(r, Span)]
+    events = [r for r in records if isinstance(r, Event)]
+    return spans, events
+
+
+def validate_span_log_file(path: str) -> list[str]:
+    """Schema-check a span-log JSONL file; returns problem strings.
+
+    Stricter than :func:`read_span_log` (which a live viewer uses):
+    every record must carry an explicit, known ``schema_version`` and a
+    known ``type`` — this is the artifact gate behind
+    ``repro trace --validate`` for ``*.jsonl`` inputs.  A torn final
+    line is still tolerated (reported, not fatal) because a crashed
+    run's log is exactly what one validates post-mortem.
+    """
+    problems: list[str] = []
     try:
         with open(path, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
     except OSError as exc:
-        raise ObservabilityError(
-            f"cannot read span log {path!r}: {exc}"
-        ) from exc
-    spans: list[Span] = []
-    events: list[Event] = []
+        return [f"cannot read {path!r}: {exc}"]
     for number, line in enumerate(lines, start=1):
         if not line.strip():
             continue
+        where = f"{path}:{number}"
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ObservabilityError(
-                f"{path}:{number}: corrupt span-log line: {exc}"
-            ) from exc
+        except json.JSONDecodeError:
+            if number == len(lines):
+                continue  # torn final line: expected crash signature
+            problems.append(f"{where}: corrupt span-log line")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not a JSON object")
+            continue
+        version = record.get("schema_version")
+        if version is None:
+            problems.append(f"{where}: missing 'schema_version'")
+        elif version != SPAN_LOG_SCHEMA_VERSION:
+            problems.append(
+                f"{where}: unknown span-log schema version {version!r} "
+                f"(this build reads version {SPAN_LOG_SCHEMA_VERSION})"
+            )
         kind = record.get("type")
-        if kind == "span":
-            spans.append(
-                Span(
-                    span_id=record["span_id"],
-                    parent_id=record.get("parent_id"),
-                    name=record["name"],
-                    start=record["start"],
-                    end=record.get("end"),
-                    status=record.get("status", "ok"),
-                    error=record.get("error"),
-                    thread=record.get("thread", 0),
-                    attrs=record.get("attrs", {}),
-                )
+        if kind not in ("span", "event"):
+            problems.append(f"{where}: unknown record type {kind!r}")
+            continue
+        required = (
+            ("span_id", "name", "start") if kind == "span"
+            else ("kind", "message", "time")
+        )
+        missing = [key for key in required if key not in record]
+        if missing:
+            problems.append(
+                f"{where}: {kind} record missing {', '.join(missing)}"
             )
-        elif kind == "event":
-            events.append(
-                Event(
-                    kind=record["kind"],
-                    message=record["message"],
-                    time=record["time"],
-                    level=record.get("level", "info"),
-                    fields=record.get("fields", {}),
-                )
-            )
-        else:
-            raise ObservabilityError(
-                f"{path}:{number}: unknown span-log record type {kind!r}"
-            )
-    return spans, events
+    return problems
 
 
 # ---------------------------------------------------------------------------

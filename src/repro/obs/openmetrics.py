@@ -1,0 +1,97 @@
+"""OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict in
+the OpenMetrics text format (the Prometheus exposition format plus an
+``# EOF`` terminator), so a run directory's ``metrics.prom`` artifact
+can be scraped by a node-exporter textfile collector or diffed by a
+human.  The mapping is mechanical:
+
+- counters  -> ``repro_<name>_total`` (``counter`` type);
+- gauges    -> ``repro_<name>`` (``gauge`` type);
+- histograms-> ``repro_<name>`` with *cumulative* ``_bucket{le=...}``
+  series (the registry stores per-bucket counts; OpenMetrics wants
+  running totals, including the ``+Inf`` bucket), plus ``_sum`` and
+  ``_count``.
+
+Instrument names like ``pool.leases.granted`` become metric names like
+``repro_pool_leases_granted_total`` — dots and any other non-metric
+characters collapse to underscores.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any
+
+from ..errors import ObservabilityError
+
+_PREFIX = "repro_"
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """A raw instrument name as a legal Prometheus metric name."""
+    cleaned = _INVALID.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{_PREFIX}{cleaned}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: dict[str, Any]) -> str:
+    """The OpenMetrics text body for one metrics snapshot."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = metric_name(name, "_total")
+        family = metric[: -len("_total")]
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(hist.get("buckets", ()))
+        counts = list(hist.get("counts", ()))
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        overflow = counts[len(bounds)] if len(counts) > len(bounds) else 0
+        cumulative += overflow
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(
+            f"{metric}_sum {_format_value(hist.get('sum', 0.0))}"
+        )
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, snapshot: dict[str, Any]) -> int:
+    """Write ``metrics.prom``; returns the number of sample lines."""
+    body = render_openmetrics(snapshot)
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(body)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write OpenMetrics file {path!r}: {exc}"
+        ) from exc
+    return sum(
+        1
+        for line in body.splitlines()
+        if line and not line.startswith("#")
+    )

@@ -1,0 +1,180 @@
+"""``repro bench --check``: the perf-trajectory regression gate.
+
+The acceptance criteria: the check exits non-zero on a synthetic
+regression and zero on the repo's committed BENCH files; floors get a
+tolerance band, parity bits get none, a ``null`` floor is a recorded
+skip (with its reason) rather than a silent pass, and every checked
+file can append one trajectory point to the history JSONL.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.cli as cli
+from repro.bench import (
+    BENCH_GLOB,
+    append_history,
+    check_files,
+    check_payload,
+    discover_bench_files,
+    format_results,
+)
+from repro.bench.check import DEFAULT_TOLERANCE, BenchCheckError
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _write(tmp_path, name, payload):
+    path = str(tmp_path / name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+class TestCheckPayload:
+    def test_floor_passes_inside_tolerance_band(self):
+        payload = {"speedup": 4.6, "speedup_floor": 5.0}
+        (check,) = check_payload(payload)  # 4.6 >= 5.0 * 0.9
+        assert check.ok and not check.skipped
+        assert check.name == "speedup"
+
+    def test_floor_fails_below_the_band(self):
+        payload = {"speedup": 4.4, "speedup_floor": 5.0}
+        (check,) = check_payload(payload)
+        assert not check.ok
+        assert "regressed" in check.reason
+        assert "[FAIL]" in check.describe()
+
+    def test_tolerance_is_configurable(self):
+        payload = {"speedup": 4.4, "speedup_floor": 5.0}
+        (loose,) = check_payload(payload, tolerance=0.2)
+        assert loose.ok
+        (strict,) = check_payload(payload, tolerance=0.0)
+        assert not strict.ok
+
+    def test_null_floor_is_a_recorded_skip(self):
+        payload = {
+            "speedup": 1.1,
+            "speedup_floor": None,
+            "floor_skipped": "needs >= 4 cores (have 2)",
+        }
+        (check,) = check_payload(payload)
+        assert check.ok and check.skipped
+        assert "cores" in check.reason
+        assert "[SKIP]" in check.describe()
+
+    def test_missing_measurement_fails(self):
+        (check,) = check_payload({"speedup_floor": 5.0})
+        assert not check.ok
+        assert "missing" in check.reason
+
+    def test_non_numeric_floor_raises(self):
+        with pytest.raises(BenchCheckError, match="number or null"):
+            check_payload({"speedup_floor": "fast"})
+
+    def test_parity_must_be_exactly_true(self):
+        ok, bad = check_payload(
+            {"replay_parity": True, "vector_parity": 0.99}
+        )
+        assert ok.ok
+        assert not bad.ok and "parity broken" in bad.reason
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(BenchCheckError, match="object"):
+            check_payload(["not", "a", "dict"])
+
+
+class TestCheckFiles:
+    def test_committed_bench_files_pass(self):
+        paths = discover_bench_files(REPO_ROOT)
+        assert paths, f"no {BENCH_GLOB} committed at the repo root"
+        results, passed = check_files(paths)
+        assert passed, format_results(results)
+        assert any(r.floor is not None for r in results)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        missing = str(tmp_path / "BENCH_gone.json")
+        with pytest.raises(BenchCheckError, match="cannot load"):
+            check_files([missing])
+
+    def test_history_appends_one_point_per_file(self, tmp_path):
+        good = _write(
+            tmp_path, "BENCH_a.json", {"x": 2.0, "x_floor": 1.0}
+        )
+        bad = _write(
+            tmp_path, "BENCH_b.json", {"y": 0.1, "y_floor": 1.0}
+        )
+        results, passed = check_files([good, bad])
+        assert not passed
+        history = str(tmp_path / "history.jsonl")
+        assert append_history([good, bad], results, history) == 2
+        append_history([good], results, history)  # append-only
+        with open(history, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 3
+        assert records[0]["file"] == "BENCH_a.json"
+        assert records[0]["ok"] is True
+        assert records[1]["ok"] is False
+        assert records[1]["checks"] == {"y": False}
+        assert records[1]["payload"]["y"] == 0.1
+
+
+class TestBenchCli:
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        bad = _write(
+            tmp_path, "BENCH_bad.json",
+            {"warm_speedup": 1.2, "warm_speedup_floor": 5.0},
+        )
+        assert cli.main(["bench", "--check", bad]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "1 failure(s)" in out
+
+    def test_committed_floors_exit_zero(self, capsys):
+        paths = discover_bench_files(REPO_ROOT)
+        assert cli.main(["bench", "--check", *paths]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_without_check_flag_is_usage_error(self, capsys):
+        assert cli.main(["bench"]) == 2
+        assert "requires --check" in capsys.readouterr().err
+
+    def test_no_files_found_is_an_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["bench", "--check"]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_corrupt_file_is_an_error(self, tmp_path, capsys):
+        broken = str(tmp_path / "BENCH_broken.json")
+        with open(broken, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cli.main(["bench", "--check", broken]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tolerance_flag_widens_the_band(self, tmp_path):
+        payload = {"speedup": 4.4, "speedup_floor": 5.0}
+        path = _write(tmp_path, "BENCH_tol.json", payload)
+        assert cli.main(["bench", "--check", path]) == 1
+        assert cli.main(
+            ["bench", "--check", path, "--tolerance", "0.2"]
+        ) == 0
+
+    def test_history_flag_writes_trajectory(self, tmp_path, capsys):
+        path = _write(
+            tmp_path, "BENCH_h.json", {"x": 2.0, "x_floor": 1.0}
+        )
+        history = str(tmp_path / "BENCH_history.jsonl")
+        assert cli.main(
+            ["bench", "--check", path, "--history", history]
+        ) == 0
+        with open(history, encoding="utf-8") as handle:
+            (record,) = [json.loads(line) for line in handle]
+        assert record["ok"] is True
+        assert record["checks"] == {"x": True}
+        capsys.readouterr()
+
+    def test_default_tolerance_matches_module_constant(self):
+        assert DEFAULT_TOLERANCE == 0.10

@@ -494,3 +494,62 @@ class TestErrorsAndCli:
         parallel = result.provenance["parallel"]
         assert parallel["heartbeat_interval"] == 0.2
         assert parallel["max_worker_restarts"] == 5
+
+
+class TestCrossProcessTrace:
+    """Worker spans must land under the right parents after a crash."""
+
+    def test_killed_worker_spans_reparent_in_merged_trace(
+        self, stub_characterize, tmp_path
+    ):
+        from repro.obs.export import read_span_log
+
+        span_log = str(tmp_path / "spans.jsonl")
+        plan = FaultPlan.parse("cell:svt-av1:game1:35:*@kill@times=1")
+        pooled = run_experiment(
+            "fig04", workers=WORKERS, fault_plan=plan,
+            ledger_path=str(tmp_path / "ledger.jsonl"),
+            span_log=span_log, **FAST_HB,
+        )
+        assert _supervision(pooled)["worker_restarts"] >= 1
+        spans, _ = read_span_log(span_log)
+        by_id = {span.span_id: span for span in spans}
+
+        def chain(span):
+            names = []
+            while span is not None:
+                names.append(span.name)
+                span = by_id.get(span.parent_id)
+            return names
+
+        # One coordinating sweep.cell per pooled dispatch (the serial
+        # replay loops add worker-less sweep.cell spans of their own),
+        # each rooted in the supervised pool's span tree — including
+        # the killed cell's replacement dispatch.
+        coordinators = [
+            s for s in spans
+            if s.name == "sweep.cell" and "worker" in s.attrs
+        ]
+        assert len(coordinators) == GRID_CELLS
+        for coordinator in coordinators:
+            assert "pool.supervise" in chain(coordinator)[1:]
+
+        # Every worker-side cell span was grafted under a coordinator
+        # (no orphans), and the worker that died mid-cell shipped each
+        # of its *completed* cells exactly once: one cell span per
+        # grid point, the killed attempt's spans died with the worker.
+        cells = [
+            s for s in spans
+            if s.name == "cell" and "pool.supervise" in chain(s)[1:]
+        ]
+        assert len(cells) == GRID_CELLS
+        keys = sorted(str(s.attrs.get("key")) for s in cells)
+        assert len(set(keys)) == GRID_CELLS
+        assert any("game1:35" in key for key in keys)
+        for cell in cells:
+            assert "sweep.cell" in chain(cell)[1:]
+
+        # Coordinators carry the worker pid; the crash means at least
+        # two distinct pids contributed to the merged timeline.
+        pids = {s.attrs.get("worker") for s in coordinators}
+        assert len(pids) >= 2

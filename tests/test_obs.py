@@ -343,8 +343,13 @@ class TestSpanLog:
         assert len(spans) == 6
 
     def test_corrupt_line_rejected(self, tmp_path):
+        # Mid-file corruption raises; only a torn *final* line (the
+        # crash-mid-append signature) is tolerated.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "span"\n')
+        path.write_text(
+            '{"type": "span"\n'
+            '{"type": "event", "kind": "k", "message": "m", "time": 0}\n'
+        )
         with pytest.raises(ObservabilityError, match="corrupt"):
             read_span_log(str(path))
 
@@ -443,3 +448,179 @@ class TestCliTelemetry:
     def test_trace_requires_a_mode(self, capsys):
         assert main(["trace"]) == 2
         assert "requires" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Shared JSONL reader + span-log durability and validation
+# ---------------------------------------------------------------------------
+
+
+class TestJsonlIO:
+    def _write(self, path, lines, tail=""):
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+            handle.write(tail)
+
+    def test_clean_file_reads_without_torn(self, tmp_path):
+        from repro.jsonlio import load_jsonl
+
+        path = str(tmp_path / "a.jsonl")
+        self._write(path, ['{"x": 1}', '{"x": 2}'])
+        records, torn = load_jsonl(path)
+        assert [r["x"] for r in records] == [1, 2]
+        assert torn is None
+
+    def test_torn_final_line_dropped_by_default(self, tmp_path):
+        from repro.jsonlio import load_jsonl
+
+        path = str(tmp_path / "a.jsonl")
+        self._write(path, ['{"x": 1}'], tail='{"x": ')
+        size = os.path.getsize(path)
+        records, torn = load_jsonl(path)
+        assert len(records) == 1
+        assert torn is not None and not torn.truncated
+        assert torn.line == '{"x": '
+        assert os.path.getsize(path) == size  # reader did not repair
+
+    def test_truncate_torn_repairs_the_file(self, tmp_path):
+        from repro.jsonlio import load_jsonl
+
+        path = str(tmp_path / "a.jsonl")
+        self._write(path, ['{"x": 1}'], tail='{"x": ')
+        records, torn = load_jsonl(path, truncate_torn=True)
+        assert torn is not None and torn.truncated
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == '{"x": 1}\n'
+        # A second read is clean.
+        assert load_jsonl(path) == (records, None)
+
+    def test_midfile_corruption_propagates(self, tmp_path):
+        from repro.jsonlio import load_jsonl
+
+        path = str(tmp_path / "a.jsonl")
+        self._write(path, ["not json", '{"x": 1}'])
+        with pytest.raises(json.JSONDecodeError):
+            load_jsonl(path)
+
+    def test_clean_tail_terminates_unfinished_good_line(self, tmp_path):
+        from repro.jsonlio import clean_tail
+
+        path = str(tmp_path / "a.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"x": 1}')  # parseable, no newline
+        assert clean_tail(path) is None
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == '{"x": 1}\n'
+
+    def test_clean_tail_cuts_torn_fragment(self, tmp_path):
+        from repro.jsonlio import clean_tail
+
+        path = str(tmp_path / "a.jsonl")
+        self._write(path, ['{"x": 1}'], tail='{"to')
+        torn = clean_tail(path)
+        assert torn is not None and torn.truncated
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == '{"x": 1}\n'
+
+    def test_clean_tail_missing_file_is_noop(self, tmp_path):
+        from repro.jsonlio import clean_tail
+
+        assert clean_tail(str(tmp_path / "gone.jsonl")) is None
+
+
+class TestSpanLogDurability:
+    def test_read_tolerates_torn_final_line(self, tmp_path):
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, _sample_tracer().spans)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "schema')
+        spans, _ = read_span_log(path)
+        assert [s.name for s in spans] == ["session", "cell", "cell"]
+
+    def test_append_after_crash_repairs_the_tail(self, tmp_path):
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, _sample_tracer().spans)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "schema')  # crash artifact
+        write_span_log(path, _sample_tracer().spans)
+        spans, _ = read_span_log(path)
+        assert len(spans) == 6  # fragment gone, both batches intact
+
+    def test_validate_accepts_a_written_log(self, tmp_path):
+        from repro.obs.export import validate_span_log_file
+
+        log = events_mod.EventLog(clock=FakeClock())
+        log.emit("cell.retry", "retrying", cell="c2")
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, _sample_tracer().spans, log.events)
+        assert validate_span_log_file(path) == []
+
+    def test_validate_tolerates_torn_final_line(self, tmp_path):
+        from repro.obs.export import validate_span_log_file
+
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, _sample_tracer().spans)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "schema')
+        assert validate_span_log_file(path) == []
+
+    def test_validate_rejects_unknown_schema_version(self, tmp_path):
+        from repro.obs.export import (
+            SPAN_LOG_SCHEMA_VERSION,
+            validate_span_log_file,
+        )
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({
+            "type": "span", "schema_version": SPAN_LOG_SCHEMA_VERSION + 1,
+            "span_id": 1, "name": "x", "start": 0.0,
+        }) + "\n")
+        (problem,) = validate_span_log_file(str(path))
+        assert "unknown span-log schema version" in problem
+
+    def test_validate_rejects_unknown_type_and_missing_fields(
+        self, tmp_path
+    ):
+        from repro.obs.export import validate_span_log_file
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "metric", "schema_version": 1}\n'
+            '{"type": "span", "schema_version": 1, "name": "x"}\n'
+            '["not an object"]\n'
+            '{"type": "event", "schema_version": 1, "kind": "k"}\n'
+        )
+        problems = validate_span_log_file(str(path))
+        assert len(problems) == 4
+        assert any("unknown record type 'metric'" in p for p in problems)
+        assert any("span record missing span_id, start" in p
+                   for p in problems)
+        assert any("not a JSON object" in p for p in problems)
+        assert any("event record missing message, time" in p
+                   for p in problems)
+
+    def test_validate_reads_unknown_versions_as_error(self, tmp_path):
+        from repro.obs.export import SPAN_LOG_SCHEMA_VERSION
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({
+            "type": "span", "schema_version": SPAN_LOG_SCHEMA_VERSION + 1,
+            "span_id": 1, "name": "x", "start": 0.0,
+        }) + "\n" + json.dumps({"type": "span"}) + "\n")
+        with pytest.raises(ObservabilityError, match="schema version"):
+            read_span_log(str(path))
+
+    def test_cli_trace_validate_dispatches_on_extension(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "run.spans.jsonl")
+        write_span_log(path, _sample_tracer().spans)
+        assert main(["trace", "--validate", path]) == 0
+        assert "valid span log" in capsys.readouterr().out
+
+        bad = str(tmp_path / "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "metric", "schema_version": 1}\n')
+        assert main(["trace", "--validate", bad]) == 2
+        assert "unknown record type" in capsys.readouterr().err
