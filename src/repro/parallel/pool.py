@@ -73,6 +73,7 @@ from ..obs import events as obs_events
 from ..obs.context import ObsContext, activate_obs, current_obs, record_metric
 from ..obs.events import Event
 from ..obs.span import ERROR, OK as SPAN_OK, active_tracer, trace_span
+from ..obs.telemetry import heartbeat_dir, open_sink, telemetry_dir
 from ..resilience.executor import (
     CellOutcome,
     ExecutionPolicy,
@@ -113,6 +114,11 @@ class ParallelConfig:
     #: Supervision knobs; ``None`` falls through env to the defaults.
     heartbeat_interval: float | None = None
     max_worker_restarts: int | None = None
+    #: Run directory: when set, heartbeat sidecars move from a
+    #: tempdir to ``<run-dir>/heartbeats/`` (and survive the run for
+    #: ``repro status``) and every worker streams telemetry samples
+    #: into ``<run-dir>/telemetry/``.
+    run_dir: str | None = None
 
 
 _current: ParallelConfig | None = None
@@ -222,6 +228,15 @@ def resolve_cache_dir(cache_dir: str | None = None) -> str | None:
     return cache_dir
 
 
+def resolve_run_dir(run_dir: str | None = None) -> str | None:
+    """Effective run directory: explicit > ambient > env > disabled."""
+    if run_dir is None and _current is not None:
+        run_dir = _current.run_dir
+    if run_dir is None:
+        run_dir = os.environ.get("REPRO_RUN_DIR") or None
+    return run_dir
+
+
 def run_spec(session: Session, spec: CellSpec) -> Any:
     """Execute one grid point — the single cell-execution function.
 
@@ -252,6 +267,8 @@ class _CellJob:
     #: Worker crashes this cell already caused; primes crash-kind
     #: fault counters so an injected kill is not re-fired forever.
     prior_crashes: int = 0
+    #: Telemetry stream directory (``None`` = telemetry disabled).
+    telemetry_dir: str | None = None
 
 
 def _worker_init() -> None:
@@ -300,6 +317,16 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
             job.hb_path, key=cell_key, interval=job.heartbeat_interval
         )
         heartbeat.start()
+    sink = None
+    if job.telemetry_dir:
+        sink = open_sink(
+            job.telemetry_dir,
+            role="worker",
+            obs=obs,
+            interval=job.heartbeat_interval,
+        )
+        if sink is not None:
+            sink.annotate(inflight=cell_key)
     status, payload, error = OK, None, None
     try:
         with activate_obs(obs):
@@ -313,6 +340,9 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
     finally:
         if heartbeat is not None:
             heartbeat.stop()
+        if sink is not None:
+            sink.annotate(inflight=None)
+            sink.stop(cell=cell_key, status=status)
     outcome = (
         session.guard.outcomes[-1]
         if session.guard is not None and session.guard.outcomes
@@ -530,7 +560,20 @@ class _Supervisor:
         self.crashes: dict[str, int] = {}
         self.restarts = 0
         self.dispatch_seq = 0
-        self.hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        # Heartbeat sidecars: inside the run directory (where they
+        # survive for `repro status` post-mortems) when one is set,
+        # else a tempdir removed on close.  One fresh subdirectory per
+        # sweep either way — an experiment may run several sweeps and
+        # their dispatch sequence numbers would otherwise collide.
+        run_dir = resolve_run_dir()
+        if run_dir is not None:
+            parent = heartbeat_dir(run_dir)
+            os.makedirs(parent, exist_ok=True)
+            self.hb_dir = tempfile.mkdtemp(prefix="sweep-", dir=parent)
+            self.hb_persistent = True
+        else:
+            self.hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+            self.hb_persistent = False
 
     def dispatch(self, pool: ProcessPoolExecutor, job_template) -> bool:
         """Submit cells until the pool is saturated or a drain holds.
@@ -571,7 +614,11 @@ class _Supervisor:
             )
             if self.guard is not None:
                 self.guard.grant_lease(
-                    cell_key, seq=self.dispatch_seq, prior_crashes=prior
+                    cell_key,
+                    seq=self.dispatch_seq,
+                    prior_crashes=prior,
+                    wall=time.time(),
+                    hb=os.path.basename(hb_path),
                 )
             else:
                 record_metric("counter", "pool.leases.granted")
@@ -637,6 +684,7 @@ class _Supervisor:
                     seq=lease.seq,
                     blamed=lease.seq in blamed,
                     crashes=count,
+                    wall=time.time(),
                 )
             else:
                 record_metric("counter", "pool.leases.lost")
@@ -698,7 +746,8 @@ class _Supervisor:
             )
 
     def close(self) -> None:
-        shutil.rmtree(self.hb_dir, ignore_errors=True)
+        if not self.hb_persistent:
+            shutil.rmtree(self.hb_dir, ignore_errors=True)
 
 
 def _execute_pooled(
@@ -772,6 +821,17 @@ def _run_supervised(
     experiment_id = guard.experiment_id if guard is not None else ""
     worker_count = min(workers, len(pending))
     config = resolve_supervision()
+    run_dir = resolve_run_dir()
+    stream_dir = telemetry_dir(run_dir) if run_dir is not None else None
+    obs = current_obs()
+    parent_sink = getattr(obs, "telemetry", None)
+    if parent_sink is not None:
+        # The sweep record lands *before* the first dispatch, so an
+        # interrupted run's telemetry still says what was planned.
+        parent_sink.flush(
+            kind="sweep", cells=len(pending), workers=worker_count
+        )
+        parent_sink.annotate(phase="pool.supervise")
     obs_events.emit(
         "pool.start",
         f"dispatching {len(pending)} cell(s) over "
@@ -801,6 +861,7 @@ def _run_supervised(
             hb_path=hb_path,
             heartbeat_interval=config.heartbeat_interval,
             prior_crashes=prior,
+            telemetry_dir=stream_dir,
         )
 
     def make_pool() -> ProcessPoolExecutor:
@@ -889,6 +950,9 @@ def _run_supervised(
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
         supervisor.close()
+        if parent_sink is not None:
+            parent_sink.annotate(phase=None)
+            parent_sink.flush()
     obs_events.emit(
         "pool.done",
         f"pool completed {merged} cell(s) "

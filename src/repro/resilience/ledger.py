@@ -20,7 +20,9 @@ of a crash: on load it is *truncated away* (not merely skipped), so a
 subsequent append cannot concatenate onto the partial line and turn it
 into mid-file corruption.  Corruption anywhere but the final line
 still raises, because that means something other than a crash-mid-
-append happened to the file.
+append happened to the file.  The torn-line policy is implemented by
+:func:`repro.jsonlio.load_jsonl`, the reader shared with the span log
+and the telemetry files (see ``OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -28,9 +30,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
 from ..errors import CheckpointError
+from ..jsonlio import load_jsonl
 from ..obs import events as obs_events
 from ..obs.context import record_metric
 from . import faults
@@ -104,58 +107,37 @@ class RunLedger:
                 f"cannot create ledger directory {parent!r}: {exc}"
             ) from exc
         if os.path.exists(self.path):
-            self._records = list(self._read())
+            self._records = self._read()
 
-    def _read(self) -> Iterator[LedgerRecord]:
-        try:
-            with open(self.path, encoding="utf-8") as handle:
-                content = handle.read()
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot read ledger {self.path!r}: {exc}"
-            ) from exc
-        lines = content.splitlines()
-        offset = 0
-        for index, line in enumerate(lines):
-            start = offset
-            offset += len(line.encode("utf-8")) + 1
-            if not line.strip():
-                continue
-            try:
-                yield LedgerRecord.from_line(line)
-            except CheckpointError:
-                # A torn final line is the expected signature of a
-                # killed run; corruption anywhere else is a real error.
-                if index == len(lines) - 1:
-                    self._truncate_torn(start, line)
-                    continue
-                raise
+    def _read(self) -> list[LedgerRecord]:
+        """Load the file via the shared torn-tolerant JSONL reader.
 
-    def _truncate_torn(self, offset: int, line: str) -> None:
-        """Cut a partial final line out of the file, durably.
-
-        Leaving the fragment in place would corrupt the *next* append:
-        the new record concatenates onto it and a once-tolerable torn
-        tail becomes unreadable mid-file data.
+        A torn final line — the expected signature of a killed run —
+        is truncated off the file (not merely skipped), so the next
+        append cannot concatenate onto the fragment.  Corruption
+        anywhere else raises.
         """
         try:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(offset)
-                handle.flush()
-                os.fsync(handle.fileno())
+            records, torn = load_jsonl(
+                self.path, LedgerRecord.from_line, truncate_torn=True
+            )
+        except CheckpointError:
+            raise
         except OSError as exc:
             raise CheckpointError(
-                f"cannot truncate torn ledger line in {self.path!r}: {exc}"
+                f"cannot read or repair ledger {self.path!r}: {exc}"
             ) from exc
-        record_metric("counter", "ledger.torn_lines")
-        obs_events.warn(
-            "ledger.torn",
-            f"ledger {self.path}: truncated torn final line "
-            f"({len(line)} chars)",
-            path=self.path,
-            dropped_chars=len(line),
-            offset=offset,
-        )
+        if torn is not None:
+            record_metric("counter", "ledger.torn_lines")
+            obs_events.warn(
+                "ledger.torn",
+                f"ledger {self.path}: truncated torn final line "
+                f"({len(torn.line)} chars)",
+                path=self.path,
+                dropped_chars=len(torn.line),
+                offset=torn.offset,
+            )
+        return records
 
     def append(self, record: LedgerRecord) -> None:
         """Durably append one record (flushed before returning)."""
