@@ -14,6 +14,21 @@ Times three fig04 CRF-sweep regenerations end-to-end:
   beat the serial loop, but the recorded number still tracks the
   dispatch overhead across PRs.
 
+Alongside the timings, the run records the shared-memory data plane's
+dispatch economics and memory posture:
+
+- **payload bytes** — the pickled per-cell dispatch payload for the
+  fig04 grid under the shm data plane (segment handles) vs the pickle
+  fallback (inline planes); the committed ``payload_reduction`` floor
+  asserts the handles stay ≥10× smaller.
+- **worker peak RSS** — the pooled leg runs inside a run directory,
+  so worker telemetry captures each process's high-water RSS; the
+  ``worker_rss_headroom`` floor asserts the peak stays inside a 1 GiB
+  budget.
+- **streaming replay peak** — tracemalloc peak of a whole-trace
+  gshare replay over a large synthetic trace vs the same replay under
+  a bounded ``stream_chunk`` window (O(window) memory, same count).
+
 The measured timings are written to ``BENCH_sweep.json`` at the repo
 root so future PRs have a perf baseline to compare against; a
 floor-check skipped for lack of cores is recorded with an explicit
@@ -22,11 +37,24 @@ floor-check skipped for lack of cores is recorded with an explicit
 
 import json
 import os
+import pickle
 import time
+import tracemalloc
 
+import numpy as np
 import pytest
 
+from repro import kernels
 from repro.experiments import common, fig04_crf_sweep, run_experiment
+from repro.obs.runstatus import load_run_status
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    InlineVideo,
+    ShmDataPlane,
+    leaked_segments,
+)
+from repro.trace.branchtrace import BranchTrace
+from repro.uarch.branch import gshare_2kb, run_trace
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
                           "BENCH_sweep.json")
@@ -35,6 +63,16 @@ WARM_SPEEDUP_FLOOR = 5.0
 POOL_SPEEDUP_FLOOR = 2.0
 #: Cores below which the pool cannot be expected to beat serial.
 POOL_FLOOR_CORES = 4
+#: Dispatch payloads must shrink at least this much under the shm
+#: data plane (handles vs pickled planes).
+PAYLOAD_REDUCTION_FLOOR = 10.0
+#: Per-worker peak-RSS budget for the pooled fig04 leg.
+WORKER_RSS_BUDGET_KIB = 1 << 20  # 1 GiB
+#: Whole-trace replay must peak at least this much higher than the
+#: chunked streaming replay of the same trace.
+STREAM_PEAK_RATIO_FLOOR = 2.0
+#: Synthetic trace length for the streaming-memory measurement.
+STREAM_TRACE_EVENTS = 1_500_000
 
 
 def _pool_workers(cores: int) -> int:
@@ -61,6 +99,76 @@ def _timed(**kwargs):
     return time.perf_counter() - start, result
 
 
+def _payload_bytes(grid):
+    """Total pickled dispatch-payload bytes for the fig04 grid.
+
+    Measures exactly what rides in each ``_CellJob``: one payload per
+    cell, a segment handle under the shm plane vs the inline planes
+    under the pickle fallback.
+    """
+    session = common.make_session()
+    cells_per_video = len(grid)
+    shm_bytes = inline_bytes = 0
+    plane = ShmDataPlane()
+    try:
+        for name in common.sweep_videos():
+            video = session.video(name)
+            handle = plane.publish(video)
+            shm_bytes += cells_per_video * len(
+                pickle.dumps(handle, pickle.HIGHEST_PROTOCOL)
+            )
+            inline_bytes += cells_per_video * len(
+                pickle.dumps(
+                    InlineVideo.from_video(video), pickle.HIGHEST_PROTOCOL
+                )
+            )
+    finally:
+        plane.close()
+    return shm_bytes, inline_bytes
+
+
+def _worker_peak_rss_kib(run_dir):
+    """High-water worker RSS from the pooled leg's telemetry."""
+    status = load_run_status(run_dir)
+    peaks = [
+        w.peak_rss_kib
+        for w in status.workers
+        if w.role == "worker" and w.peak_rss_kib is not None
+    ]
+    return max(peaks) if peaks else None
+
+
+def _streaming_peak_ratio():
+    """tracemalloc peak: whole-trace replay / chunked streaming replay.
+
+    The trace columns are allocated outside the measured window, so
+    the ratio isolates the replay kernels' transient arrays — O(n)
+    whole-trace vs O(window) streamed.
+    """
+    rng = np.random.default_rng(20230911)
+    n = STREAM_TRACE_EVENTS
+    pcs = (rng.integers(0, 1 << 16, size=n) << 2).astype(np.int64)
+    taken = (rng.uniform(size=n) < 0.7).astype(np.uint8)
+    trace = BranchTrace.from_columns(pcs, taken, float(n) * 5.0)
+
+    def replay_peak(window):
+        with kernels.stream_chunk(window):
+            tracemalloc.start()
+            try:
+                result = run_trace(gshare_2kb(), trace)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+        return result.mispredicts, peak
+
+    whole_count, whole_peak = replay_peak(0)
+    chunk_count, chunk_peak = replay_peak(1 << 15)
+    assert whole_count == chunk_count, (
+        f"streamed replay diverged: {chunk_count} != {whole_count}"
+    )
+    return whole_peak / max(chunk_peak, 1), whole_peak, chunk_peak
+
+
 def test_sweep_speedups(tmp_path, monkeypatch):
     cache_dir = str(tmp_path / "cache")
     cores = os.cpu_count() or 1
@@ -76,9 +184,19 @@ def test_sweep_speedups(tmp_path, monkeypatch):
     assert warm.tables == cold.tables
     assert warm.series == cold.series
 
-    parallel_seconds, pooled = _timed(workers=workers)
+    run_dir = str(tmp_path / "run")
+    parallel_seconds, pooled = _timed(workers=workers, run_dir=run_dir)
     assert pooled.tables == cold.tables
     assert pooled.series == cold.series
+    own = f"{SEGMENT_PREFIX}{os.getpid()}-"
+    assert leaked_segments(prefix=own) == [], (
+        "shm segments leaked past the sweep"
+    )
+
+    shm_bytes, inline_bytes = _payload_bytes(grid)
+    payload_reduction = inline_bytes / max(shm_bytes, 1)
+    peak_rss_kib = _worker_peak_rss_kib(run_dir)
+    stream_ratio, whole_peak, chunk_peak = _streaming_peak_ratio()
 
     floor_skipped = None
     if cores < POOL_FLOOR_CORES:
@@ -109,11 +227,54 @@ def test_sweep_speedups(tmp_path, monkeypatch):
         # Distinguishes "floor not asserted" (with the reason) from
         # "asserted and passed" in the recorded trajectory.
         "floor_skipped": floor_skipped,
+        # Pooled results must stay bit-identical to the serial run
+        # under the shm data plane (no tolerance band, ever).
+        "pool_parity": bool(
+            pooled.tables == cold.tables and pooled.series == cold.series
+        ),
+        # Dispatch payload economics: shm segment handles vs pickled
+        # inline planes, summed over every cell of the grid.
+        "payload_bytes_shm": shm_bytes,
+        "payload_bytes_pickled": inline_bytes,
+        "payload_reduction": round(payload_reduction, 2),
+        "payload_reduction_floor": PAYLOAD_REDUCTION_FLOOR,
+        # Worker memory posture from the pooled leg's telemetry;
+        # headroom = budget / peak, so >= 1.0 means inside budget.
+        "worker_peak_rss_kib": peak_rss_kib,
+        "worker_rss_budget_kib": WORKER_RSS_BUDGET_KIB,
+        "worker_rss_headroom": (
+            round(WORKER_RSS_BUDGET_KIB / peak_rss_kib, 2)
+            if peak_rss_kib
+            else None
+        ),
+        "worker_rss_headroom_floor": (
+            1.0 if peak_rss_kib else None
+        ),
+        # Streaming replay memory: whole-trace peak over chunked peak
+        # for the same large synthetic trace (same mispredict count).
+        "stream_trace_events": STREAM_TRACE_EVENTS,
+        "stream_whole_peak_bytes": whole_peak,
+        "stream_chunk_peak_bytes": chunk_peak,
+        "stream_peak_ratio": round(stream_ratio, 2),
+        "stream_peak_ratio_floor": STREAM_PEAK_RATIO_FLOOR,
     }
     with open(BENCH_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
 
+    assert payload_reduction >= PAYLOAD_REDUCTION_FLOOR, (
+        f"shm payload only {payload_reduction:.1f}x smaller "
+        f"({shm_bytes} vs {inline_bytes} pickled bytes)"
+    )
+    assert stream_ratio >= STREAM_PEAK_RATIO_FLOOR, (
+        f"streamed replay peak only {stream_ratio:.1f}x below whole-trace "
+        f"({chunk_peak} vs {whole_peak} bytes)"
+    )
+    if peak_rss_kib is not None:
+        assert peak_rss_kib <= WORKER_RSS_BUDGET_KIB, (
+            f"worker peak RSS {peak_rss_kib:.0f} KiB over the "
+            f"{WORKER_RSS_BUDGET_KIB} KiB budget"
+        )
     assert cold_seconds >= warm_seconds * WARM_SPEEDUP_FLOOR, (
         f"warm cache run only {cold_seconds / warm_seconds:.1f}x faster "
         f"({warm_seconds:.2f}s vs {cold_seconds:.2f}s cold)"

@@ -15,6 +15,7 @@ from .keys import (
     CODE_SALT,
     cell_cache_key,
     machine_fingerprint,
+    video_content_key,
 )
 from .store import ResultCache, default_cache_dir
 
@@ -25,4 +26,5 @@ __all__ = [
     "cell_cache_key",
     "default_cache_dir",
     "machine_fingerprint",
+    "video_content_key",
 ]

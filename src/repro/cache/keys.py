@@ -50,6 +50,23 @@ def machine_fingerprint(machine: MachineConfig) -> str:
     return hashlib.sha256(_canonical(document).encode()).hexdigest()
 
 
+def video_content_key(spec: Any) -> str:
+    """Content address of one synthetic video's pixel data.
+
+    ``spec`` is the :class:`~repro.video.synthetic.ContentSpec` that
+    fully determines the generated frames (the generator is seeded from
+    the spec, so equal specs produce bit-identical planes).  Sessions
+    key their in-memory video LRU on this, and the shared-memory data
+    plane uses it to publish each distinct video exactly once per
+    sweep.
+    """
+    document = {
+        "video": dataclasses.asdict(spec),
+        "code_salt": CODE_SALT,
+    }
+    return hashlib.sha256(_canonical(document).encode()).hexdigest()
+
+
 def cell_cache_key(
     codec: str,
     video: str,

@@ -9,22 +9,32 @@ wide default session lets independent benchmark files share work.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..codecs.base import EncodeResult
-from ..errors import QuarantinedCellError
-from ..obs.context import current_obs
+from ..errors import QuarantinedCellError, ShmError, VideoError
+from ..obs.context import current_obs, record_metric
 from ..obs.metrics import RATE_BUCKETS
 from ..obs.span import trace_span
 from ..resilience.executor import ResilienceGuard
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
 from ..uarch.perfcounters import PerfReport
+from ..video import vbench
+from ..video.frame import Video
+from ..video.synthetic import generate
 from .characterize import characterize, encode_workload
 from .serialize import from_jsonable, to_jsonable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cache import ResultCache
+
+#: Per-session video LRU capacity.  A sweep grid touches a handful of
+#: distinct clips (the full catalog is 15), so a small bound keeps the
+#: win (each clip generated once per session instead of once per cell)
+#: while capping resident pixel data for adversarial grids.
+VIDEO_LRU_CAPACITY = 16
 
 
 def _record_report_metrics(report: PerfReport) -> None:
@@ -110,6 +120,8 @@ class Session:
     _quarantined: dict[RunKey, QuarantinedCellError] = field(
         default_factory=dict
     )
+    _videos: "OrderedDict[str, Video]" = field(default_factory=OrderedDict)
+    _video_sources: dict[tuple[str, int], Any] = field(default_factory=dict)
 
     def cell_key(self, key: RunKey) -> str:
         """Stable ledger/fault-site key for one characterization cell."""
@@ -117,6 +129,77 @@ class Session:
         return (
             f"cell:{key.codec}:{key.video}:{key.crf:g}:{key.preset}:{frames}"
         )
+
+    def video_frames(self) -> int:
+        """Effective proxy frame count for catalog clips."""
+        return (
+            self.num_frames
+            if self.num_frames is not None
+            else vbench.DEFAULT_NUM_FRAMES
+        )
+
+    def add_video_source(self, name: str, num_frames: int, payload: Any) -> None:
+        """Register a delivery payload for one ``(clip, frames)`` pair.
+
+        ``payload`` is a :class:`~repro.parallel.shm.ShmVideoHandle`
+        (zero-copy attach) or :class:`~repro.parallel.shm.InlineVideo`
+        (pickled planes); pool workers install these from the cell job
+        so :meth:`video` never regenerates what the parent already
+        published.  A payload that fails to materialise falls back to
+        regeneration — delivery never decides whether a cell runs.
+        """
+        self._video_sources[(name, num_frames)] = payload
+
+    def video(self, name: str) -> Video:
+        """The named catalog clip at this session's frame count.
+
+        Memoised per content address (the spec fully seeds the
+        generator, so equal specs mean bit-identical planes): a CRF
+        sweep that visits one clip at ten grid points generates — or
+        attaches — its frames once, not ten times.
+        """
+        frames = self.video_frames()
+        spec = vbench.entry(name).spec(frames)
+        from ..cache import video_content_key
+
+        key = video_content_key(spec)
+        cached = self._videos.get(key)
+        if cached is not None:
+            self._videos.move_to_end(key)
+            return cached
+        video: Video | None = None
+        payload = self._video_sources.get((name, frames))
+        if payload is not None:
+            from ..parallel import shm as shm_plane
+
+            try:
+                video = shm_plane.video_from_payload(payload)
+            except ShmError:
+                # Segment gone or malformed: regenerate locally.  The
+                # counter makes a silently-degraded sweep visible in
+                # its metrics artifact.
+                record_metric("counter", "shm.attach.fallbacks")
+                video = None
+        if video is None:
+            video = generate(spec)
+        self._videos[key] = video
+        while len(self._videos) > VIDEO_LRU_CAPACITY:
+            self._videos.popitem(last=False)
+        return video
+
+    def _resolve_video(self, video: "Video | str") -> "Video | str":
+        """Memoised Video for catalog-clip names; passthrough otherwise.
+
+        Unknown names pass through unchanged so :func:`characterize`
+        raises its usual :class:`~repro.errors.VideoError` *inside* the
+        guarded compute, exactly where it surfaced before memoisation.
+        """
+        if not isinstance(video, str):
+            return video
+        try:
+            return self.video(video)
+        except VideoError:
+            return video
 
     def _compute(
         self, codec: str, video: str, crf: float, preset: int
@@ -139,14 +222,14 @@ class Session:
             if payload is not None:
                 return from_jsonable(payload)
             report = characterize(
-                codec, video, machine=self.machine, crf=crf, preset=preset,
-                num_frames=self.num_frames,
+                codec, self._resolve_video(video), machine=self.machine,
+                crf=crf, preset=preset, num_frames=self.num_frames,
             )
             self.cache.put(cache_key, to_jsonable(report))
             return report
         return characterize(
-            codec, video, machine=self.machine, crf=crf, preset=preset,
-            num_frames=self.num_frames,
+            codec, self._resolve_video(video), machine=self.machine,
+            crf=crf, preset=preset, num_frames=self.num_frames,
         )
 
     def report(
@@ -215,7 +298,17 @@ class Session:
         """
         from ..parallel.pool import execute_cells, resolve_workers
 
+        specs = list(specs)
         if resolve_workers(workers) <= 1:
+            # Serial grouping win: generate each distinct clip once, up
+            # front, so the lazy per-cell loops that follow always hit
+            # the video LRU (and batch-friendly callers see all their
+            # inputs materialised together).
+            for name in dict.fromkeys(spec[1] for spec in specs):
+                try:
+                    self.video(name)
+                except VideoError:
+                    continue
             return 0
         wanted = []
         for spec in specs:
@@ -250,6 +343,8 @@ class Session:
         self._reports.clear()
         self._encodes.clear()
         self._quarantined.clear()
+        self._videos.clear()
+        self._video_sources.clear()
 
     def __len__(self) -> int:
         return len(self._reports) + len(self._encodes)

@@ -142,6 +142,17 @@ class ValidationError(ReproError):
     """
 
 
+class ShmError(ReproError):
+    """A shared-memory segment could not be created or attached.
+
+    Raised by the zero-copy data plane (:mod:`repro.parallel.shm`) when
+    ``/dev/shm`` refuses a publish or a worker cannot attach a
+    published segment.  Callers never propagate it to a sweep: the
+    data plane falls back to pickled planes or in-worker regeneration,
+    because video *delivery* must never decide whether a cell runs.
+    """
+
+
 class ObservabilityError(ReproError):
     """A telemetry artifact could not be produced or understood.
 

@@ -144,16 +144,34 @@ def default_span_log_path(ledger_path: str) -> str:
     return f"{stem}.spans.jsonl"
 
 
-def _write_manifest(run_dir: str, manifest: dict) -> None:
-    """Write/replace the run directory's ``run.json`` (best effort).
+def _write_manifest(
+    run_dir: str, manifest: dict, *, replace: bool = False
+) -> None:
+    """Write/update the run directory's ``run.json`` (best effort).
 
     The manifest is advisory metadata for ``repro status`` — a run
     must never die because its description could not be written.
+    The exit rewrite merges over the on-disk file rather than
+    replacing it: other subsystems annotate the manifest mid-run
+    (the shm data plane's ``shm_segments`` list) and those keys must
+    survive.  The start-of-run write passes ``replace=True`` so a
+    reused run directory does not inherit a prior run's ``error`` or
+    ``ended_wall``.
     """
     path = os.path.join(run_dir, MANIFEST_FILE)
+    merged: dict = {}
+    if not replace:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                on_disk = json.load(handle)
+            if isinstance(on_disk, dict):
+                merged = on_disk
+        except (OSError, json.JSONDecodeError, FileNotFoundError):
+            pass
+    merged.update(manifest)
     try:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
+            json.dump(merged, handle, indent=2, sort_keys=True)
             handle.write("\n")
     except OSError:
         pass
@@ -319,7 +337,7 @@ def run_experiment(
             "pid": os.getpid(),
             "workers": resolve_workers(workers),
         }
-        _write_manifest(run_dir, manifest)
+        _write_manifest(run_dir, manifest, replace=True)
         obs_context.telemetry = open_sink(
             telemetry_dir(run_dir),
             role="parent",

@@ -17,6 +17,17 @@ Selection:
   forced scalar);
 - :func:`scalar_kernels` / :func:`vectorized_kernels` — scoped
   overrides for benchmarks and parity tests (innermost wins).
+
+PR 8 adds **streaming execution** on top: the vectorized replay and
+cache-walk kernels process long event streams in bounded windows with
+carried state, so peak memory stays O(window) instead of O(events) at
+production frame counts.  Every kernel that streams writes back its
+full post-window state (the ``replay-scalar-parity`` invariant's
+probe-stream check pins this), so chunked execution is bit-equal to
+whole-stream execution by construction — which the
+``replay-chunk-parity`` invariant re-asserts directly.  The window is
+:func:`stream_chunk_events`, tunable via ``REPRO_REPLAY_CHUNK``
+(``0`` disables chunking) or the scoped :func:`stream_chunk` override.
 """
 
 from __future__ import annotations
@@ -29,8 +40,20 @@ from typing import Iterator
 #: reference kernels process-wide.
 SCALAR_ENV = "REPRO_SCALAR_KERNELS"
 
+#: Environment override for the streaming window, in events per chunk
+#: (``0`` = unbounded: whole-stream kernels, the pre-PR-8 behaviour).
+CHUNK_ENV = "REPRO_REPLAY_CHUNK"
+
+#: Default streaming window.  Large enough that per-chunk kernel setup
+#: is noise (the vectorized replays sort the window once), small enough
+#: that a chunk's temporaries stay a few MiB regardless of trace size.
+DEFAULT_STREAM_CHUNK = 1 << 18
+
 #: Stack of scoped overrides; each entry is True for "force scalar".
 _forced: list[bool] = []
+
+#: Stack of scoped chunk-size overrides (innermost wins).
+_forced_chunk: list[int] = []
 
 
 def vectorized_enabled() -> bool:
@@ -58,3 +81,27 @@ def vectorized_kernels() -> Iterator[None]:
         yield
     finally:
         _forced.pop()
+
+
+def stream_chunk_events() -> int:
+    """Streaming window in events per chunk; ``0`` means unbounded."""
+    if _forced_chunk:
+        return _forced_chunk[-1]
+    raw = os.environ.get(CHUNK_ENV, "")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = DEFAULT_STREAM_CHUNK
+        return max(value, 0)
+    return DEFAULT_STREAM_CHUNK
+
+
+@contextmanager
+def stream_chunk(events: int) -> Iterator[None]:
+    """Scoped streaming-window override (``0`` disables chunking)."""
+    _forced_chunk.append(max(int(events), 0))
+    try:
+        yield
+    finally:
+        _forced_chunk.pop()

@@ -180,6 +180,7 @@ def run_report(run_dir: str) -> dict[str, Any]:
                 "samples": w.samples,
                 "last_wall": w.last_wall,
                 "rss_kib": w.rss_kib,
+                "peak_rss_kib": w.peak_rss_kib,
                 "cpu_seconds": w.cpu_seconds,
                 "inflight": w.inflight,
             }
@@ -206,6 +207,15 @@ def format_report(report: dict[str, Any]) -> str:
         f"  cells: {cells['ok']} ok, {cells['quarantined']} quarantined, "
         f"{cells['retried']} retried, {cells['resumable']} resumable"
     )
+    if report.get("workers"):
+        lines.append("  workers (peak rss):")
+        for row in report["workers"]:
+            peak = row.get("peak_rss_kib")
+            rendered = f"{peak / 1024:.1f}MiB" if peak is not None else "?"
+            lines.append(
+                f"    {row['stream']:<18} pid {row['pid']:>7} "
+                f"{row.get('role', 'worker'):<7} peak {rendered:>9}"
+            )
     if report["slowest_cells"]:
         lines.append("  slowest cells:")
         for row in report["slowest_cells"]:

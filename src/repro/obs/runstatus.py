@@ -56,6 +56,10 @@ class WorkerView:
     first_wall: float
     last_wall: float
     rss_kib: float | None
+    #: High-water RSS over every sample in the stream (``ru_maxrss``
+    #: is already monotone, but the max is robust to samplers that
+    #: report instantaneous RSS instead).
+    peak_rss_kib: float | None
     cpu_seconds: float | None
     inflight: str | None         # cell key annotated as in flight
     last_kind: str               # "sample" | "final" | "sweep"
@@ -202,10 +206,14 @@ def _read_workers(run_dir: str, status: RunStatus) -> None:
     saw_sweep = False
     for stream, samples in streams.items():
         last = samples[-1]
+        rss_samples = []
         for sample in samples:
             if sample.get("kind") == "sweep":
                 saw_sweep = True
                 planned += int(sample.get("cells", 0))
+            rss = sample.get("rss_kib")
+            if isinstance(rss, (int, float)) and not isinstance(rss, bool):
+                rss_samples.append(float(rss))
         status.workers.append(
             WorkerView(
                 stream=stream,
@@ -215,6 +223,7 @@ def _read_workers(run_dir: str, status: RunStatus) -> None:
                 first_wall=float(samples[0].get("wall", 0.0)),
                 last_wall=float(last.get("wall", 0.0)),
                 rss_kib=last.get("rss_kib"),
+                peak_rss_kib=max(rss_samples) if rss_samples else None,
                 cpu_seconds=last.get("cpu_seconds"),
                 inflight=last.get("inflight"),
                 last_kind=str(last.get("kind", "sample")),

@@ -24,6 +24,15 @@ from .pool import (
     resolve_supervision,
     resolve_workers,
 )
+from .shm import (
+    InlineVideo,
+    ShmDataPlane,
+    ShmVideoHandle,
+    attach_video,
+    leaked_segments,
+    publish_video,
+    shm_mode,
+)
 from .scaling import (
     ScalingCurve,
     ScalingPoint,
@@ -45,8 +54,11 @@ __all__ = [
     "GRAPH_BUILDERS",
     "CellSpec",
     "HeartbeatWriter",
+    "InlineVideo",
     "Lease",
     "ParallelConfig",
+    "ShmDataPlane",
+    "ShmVideoHandle",
     "ScalingCurve",
     "ScalingPoint",
     "ScheduleResult",
@@ -54,6 +66,7 @@ __all__ = [
     "Task",
     "TaskGraph",
     "activate_parallel",
+    "attach_video",
     "build_graph",
     "build_libaom_graph",
     "build_svt_av1_graph",
@@ -64,7 +77,10 @@ __all__ = [
     "drain_requested",
     "execute_cells",
     "last_beat",
+    "leaked_segments",
+    "publish_video",
     "request_drain",
+    "shm_mode",
     "resolve_cache_dir",
     "resolve_supervision",
     "resolve_workers",

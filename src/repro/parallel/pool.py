@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import shutil
 import signal as _signal
 import tempfile
@@ -66,7 +67,9 @@ from ..core.session import CellSpec, RunKey, Session
 from ..errors import (
     ExperimentError,
     QuarantinedCellError,
+    ShmError,
     SweepInterruptedError,
+    VideoError,
     WorkerCrashError,
 )
 from ..obs import events as obs_events
@@ -80,6 +83,7 @@ from ..resilience.executor import (
     ResilienceGuard,
 )
 from ..resilience.ledger import OK, QUARANTINED
+from .shm import InlineVideo, ShmDataPlane, shm_mode
 from .supervise import (
     HeartbeatWriter,
     Lease,
@@ -269,6 +273,11 @@ class _CellJob:
     prior_crashes: int = 0
     #: Telemetry stream directory (``None`` = telemetry disabled).
     telemetry_dir: str | None = None
+    #: Video delivery payload for this cell's clip — a
+    #: :class:`~repro.parallel.shm.ShmVideoHandle` (zero-copy attach)
+    #: or :class:`~repro.parallel.shm.InlineVideo` (pickled planes).
+    #: ``None`` means the worker regenerates from the clip name.
+    video_payload: Any = None
 
 
 def _worker_init() -> None:
@@ -296,6 +305,10 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
     anchor_wall = time.time()
     anchor_mono = obs.clock.monotonic()
     session = Session(machine=job.machine, num_frames=job.num_frames)
+    if job.video_payload is not None:
+        session.add_video_source(
+            job.spec.video, session.video_frames(), job.video_payload
+        )
     if job.policy is not None:
         session.guard = ResilienceGuard(job.policy, job.experiment_id)
     if job.cache_dir:
@@ -595,11 +608,16 @@ class _Supervisor:
             hb_path = os.path.join(
                 self.hb_dir, f"{self.dispatch_seq:06d}.jsonl"
             )
+            job = job_template(spec, hb_path, prior)
+            # What actually crosses the process boundary per dispatch —
+            # the number the zero-copy data plane exists to shrink.
+            record_metric(
+                "counter",
+                "pool.payload_bytes",
+                float(len(pickle.dumps(job, pickle.HIGHEST_PROTOCOL))),
+            )
             try:
-                future = pool.submit(
-                    _worker_cell,
-                    job_template(spec, hb_path, prior),
-                )
+                future = pool.submit(_worker_cell, job)
             except BrokenProcessPool:
                 self.queue.appendleft(key)
                 return False
@@ -847,6 +865,31 @@ def _run_supervised(
     thread_rows: dict[tuple[int, int], int] = {}
     supervisor = _Supervisor(session, pending, config, worker_count)
 
+    # Video data plane: resolve each distinct clip once in the parent
+    # (through the session LRU) and pick its delivery payload.  The
+    # parent owns every shm segment for the whole dispatch loop —
+    # including across pool rebuilds, whose fresh workers re-attach the
+    # same segments — and the ``finally`` below unlinks them on drain,
+    # crash and normal completion alike.
+    mode = shm_mode()
+    plane = ShmDataPlane(run_dir=run_dir) if mode == "shm" else None
+    payloads: dict[str, Any] = {}
+    if mode != "generate":
+        for name in dict.fromkeys(
+            spec.video for _, spec in pending.values()
+        ):
+            try:
+                video = session.video(name)
+            except VideoError:
+                continue  # non-catalog clip: worker raises as before
+            if plane is not None:
+                try:
+                    payloads[name] = plane.publish(video)
+                except ShmError:
+                    record_metric("counter", "shm.publish.fallbacks")
+            else:
+                payloads[name] = InlineVideo.from_video(video)
+
     def job_template(
         spec: CellSpec, hb_path: str, prior: int
     ) -> _CellJob:
@@ -862,6 +905,7 @@ def _run_supervised(
             heartbeat_interval=config.heartbeat_interval,
             prior_crashes=prior,
             telemetry_dir=stream_dir,
+            video_payload=payloads.get(spec.video),
         )
 
     def make_pool() -> ProcessPoolExecutor:
@@ -950,6 +994,8 @@ def _run_supervised(
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
         supervisor.close()
+        if plane is not None:
+            plane.close()
         if parent_sink is not None:
             parent_sink.annotate(phase=None)
             parent_sink.flush()

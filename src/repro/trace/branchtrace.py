@@ -156,6 +156,25 @@ class BranchTrace:
             np.array_equal(a_pcs, b_pcs) and np.array_equal(a_taken, b_taken)
         )
 
+    def iter_chunks(
+        self, window: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(pcs, taken)`` column slices of at most ``window``.
+
+        The slices are zero-copy views in program order, covering the
+        trace exactly; ``window <= 0`` yields the whole trace as one
+        chunk.  This is the unit of streaming replay: kernels that
+        carry their predictor/history state across calls consume a
+        chunked trace bit-identically to the whole-trace form while
+        touching only O(window) memory at a time.
+        """
+        pcs, taken = self.columns()
+        if window <= 0 or pcs.size <= window:
+            yield pcs, taken
+            return
+        for start in range(0, int(pcs.size), window):
+            yield pcs[start : start + window], taken[start : start + window]
+
     @property
     def num_branches(self) -> int:
         """Number of conditional branches in the window."""

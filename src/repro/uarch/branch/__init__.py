@@ -1,6 +1,11 @@
 """Branch predictor simulators for the CBP harness and core model."""
 
-from .base import BranchPredictor, PredictorResult, run_trace
+from .base import (
+    BranchPredictor,
+    PredictorResult,
+    run_trace,
+    run_trace_batch,
+)
 from .bimodal import BimodalPredictor
 from .btb import BranchTargetBuffer, BtbResult, run_btb
 from .gshare import GsharePredictor, gshare_2kb, gshare_32kb
@@ -35,6 +40,7 @@ __all__ = [
     "model_loops",
     "run_btb",
     "run_trace",
+    "run_trace_batch",
     "tage_64kb",
     "tage_8kb",
 ]

@@ -16,12 +16,27 @@ Two replay paths exist (DESIGN.md "Kernel architecture"):
   kernels that are bit-equal to the scalar walk (mispredict count
   *and* post-replay predictor state), which parity tests and the
   ``replay-scalar-parity`` invariant assert.
+
+The fast path **streams**: because every vectorized replay writes back
+its full post-replay state, :func:`run_trace` can feed it the trace in
+bounded windows (:meth:`~repro.trace.branchtrace.BranchTrace.
+iter_chunks` at :func:`repro.kernels.stream_chunk_events` events per
+chunk) with carried state, bit-equal to whole-trace replay — the
+``replay-chunk-parity`` invariant asserts exactly this — while peak
+kernel memory stays O(window) instead of O(events).
+
+It also **batches across cells**: :func:`run_trace_batch` replays many
+independent traces through one predictor configuration in a single
+kernel call (:meth:`BranchPredictor.replay_batch`), amortising the
+per-call sort/scan setup that dominates small traces.
 """
 
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -83,6 +98,26 @@ class BranchPredictor(abc.ABC):
                 mispredicts += 1
         return mispredicts
 
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """Replay independent columnar streams; one mispredict count each.
+
+        Every stream starts from this predictor's *current* state and
+        trains only its own copy — the streams are different sweep
+        cells, not one concatenated trace — and ``self`` is left
+        untouched.  The base implementation replays a deep copy per
+        stream; table predictors override it to stack all streams into
+        one kernel call over disjoint index spaces, which is exact for
+        the same reason separate calls are: events of different
+        streams never share a counter.
+        """
+        counts: list[int] = []
+        for pcs, taken in streams:
+            clone = copy.deepcopy(self)
+            counts.append(int(clone.replay(pcs, taken)))
+        return counts
+
 
 @dataclass(frozen=True)
 class PredictorResult:
@@ -119,7 +154,17 @@ def run_trace(
     if pcs.size == 0:
         raise SimulationError(f"trace {trace.name!r} is empty")
     if kernels.vectorized_enabled():
-        mispredicts = int(predictor.replay(pcs, taken))
+        # Stream in bounded windows with carried predictor state.
+        # Exact because every vectorized replay writes its full
+        # post-replay state back (the `replay-scalar-parity` probe
+        # pins that; `replay-chunk-parity` pins this equivalence).
+        window = kernels.stream_chunk_events()
+        if window and pcs.size > window:
+            mispredicts = 0
+            for chunk_pcs, chunk_taken in trace.iter_chunks(window):
+                mispredicts += int(predictor.replay(chunk_pcs, chunk_taken))
+        else:
+            mispredicts = int(predictor.replay(pcs, taken))
     else:
         mispredicts = 0
         predict_update = predictor.predict_update
@@ -134,3 +179,46 @@ def run_trace(
         mispredicts=mispredicts,
         window_instructions=trace.window_instructions,
     )
+
+
+def run_trace_batch(
+    factory: Callable[[], BranchPredictor],
+    traces: Iterable[BranchTrace],
+    name: str | None = None,
+) -> list[PredictorResult]:
+    """Replay many traces through one predictor config, batched.
+
+    Semantically identical to ``[run_trace(factory(), t) for t in
+    traces]`` — each trace gets a fresh predictor, exactly the
+    championship harness contract — but on the vectorized path all
+    streams go through one :meth:`BranchPredictor.replay_batch` call,
+    amortising kernel setup across cells.  ``name`` overrides the
+    predictor's reported name (the CBP harness labels configurations).
+    """
+    trace_list = list(traces)
+    for trace in trace_list:
+        if len(trace) == 0:
+            raise SimulationError(f"trace {trace.name!r} is empty")
+
+    def fresh() -> BranchPredictor:
+        predictor = factory()
+        if name is not None and predictor.name != name:
+            predictor.name = name
+        return predictor
+
+    if not kernels.vectorized_enabled() or len(trace_list) <= 1:
+        return [run_trace(fresh(), trace) for trace in trace_list]
+    predictor = fresh()
+    counts = predictor.replay_batch(
+        [trace.columns() for trace in trace_list]
+    )
+    return [
+        PredictorResult(
+            predictor=predictor.name,
+            trace=trace.name,
+            branches=len(trace),
+            mispredicts=int(count),
+            window_instructions=trace.window_instructions,
+        )
+        for trace, count in zip(trace_list, counts)
+    ]

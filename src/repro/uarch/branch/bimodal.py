@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
-from .replay import two_bit_counter_replay
+from .replay import batched_counter_mispredicts, two_bit_counter_replay
 
 
 class BimodalPredictor(BranchPredictor):
@@ -59,6 +61,26 @@ class BimodalPredictor(BranchPredictor):
     def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
         predictions = self.replay_predictions(pcs, taken)
         return int(np.count_nonzero(predictions != (taken != 0)))
+
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """All streams in one saturating-counter scan.
+
+        Per-stream indices are offset into disjoint copies of the
+        table's index space, so one stable-sorted scan replays every
+        stream exactly as separate calls would (events of different
+        streams can never meet in a counter chain).  ``self`` is left
+        untouched — each stream trains its own virtual table seeded
+        from the current one.
+        """
+        indices = [
+            ((pcs >> 2) & self._mask) for pcs, _ in streams
+        ]
+        return batched_counter_mispredicts(
+            self._table, self._entries, indices,
+            [taken for _, taken in streams],
+        )
 
     @property
     def storage_bits(self) -> int:

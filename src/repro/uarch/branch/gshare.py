@@ -8,11 +8,18 @@ construct exactly those.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
-from .replay import final_history, history_stream, two_bit_counter_replay
+from .replay import (
+    batched_counter_mispredicts,
+    final_history,
+    history_stream,
+    two_bit_counter_replay,
+)
 
 
 class GsharePredictor(BranchPredictor):
@@ -99,6 +106,30 @@ class GsharePredictor(BranchPredictor):
     def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
         predictions = self.replay_predictions(pcs, taken)
         return int(np.count_nonzero(predictions != (taken != 0)))
+
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """All streams in one saturating-counter scan.
+
+        Each stream's history register evolves from this predictor's
+        current value independently (history before event ``i`` of a
+        stream depends only on that stream's preceding outcomes), so
+        the per-stream index streams are precomputed exactly as
+        :meth:`replay_predictions` would; the counter chains then
+        replay in one scan over disjoint index spaces.  ``self`` —
+        table and history register — is left untouched.
+        """
+        indices = [
+            ((pcs >> 2)
+             ^ history_stream(taken, self._history_bits, self._history))
+            & self._mask
+            for pcs, taken in streams
+        ]
+        return batched_counter_mispredicts(
+            self._table, self._entries, indices,
+            [taken for _, taken in streams],
+        )
 
     @property
     def storage_bits(self) -> int:

@@ -119,6 +119,48 @@ def two_bit_counter_replay(
     return before >= 2
 
 
+def batched_counter_mispredicts(
+    table: np.ndarray,
+    entries: int,
+    indices: list[np.ndarray],
+    taken: list[np.ndarray],
+) -> list[int]:
+    """Replay many independent streams' 2-bit chains in one scan.
+
+    Stream ``b``'s indices are offset by ``b * entries``, making the
+    index spaces disjoint, and the stable sort inside
+    :func:`saturating_counter_scan` preserves each stream's program
+    order — so one concatenated scan is exactly equivalent to one scan
+    per stream.  Every stream's chains start from a gather of the
+    *current* ``table`` (which is not written back: the streams are
+    independent cells, each training its own virtual copy).  Returns
+    the per-stream mispredict counts.
+    """
+    if not indices:
+        return []
+    counts = np.array([idx.size for idx in indices], dtype=np.int64)
+    offsets = np.repeat(
+        np.arange(len(indices), dtype=np.int64) * entries, counts
+    )
+    raw = np.concatenate(indices) if len(indices) > 1 else indices[0]
+    cat_taken = np.concatenate(taken) if len(taken) > 1 else taken[0]
+    before, _, _ = saturating_counter_scan(
+        raw + offsets,
+        np.where(cat_taken != 0, 1, -1).astype(np.int64),
+        table[raw].astype(np.int64),
+        0,
+        3,
+    )
+    wrong = (before >= 2) != (cat_taken != 0)
+    # Per-segment totals via boundary-aligned cumsum differences
+    # (robust to empty streams, unlike reduceat).
+    prefix = np.zeros(wrong.size + 1, dtype=np.int64)
+    np.cumsum(wrong, out=prefix[1:])
+    bounds = np.zeros(len(indices) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return (prefix[bounds[1:]] - prefix[bounds[:-1]]).tolist()
+
+
 def history_stream(
     taken: np.ndarray, history_bits: int, initial_history: int
 ) -> np.ndarray:
@@ -131,7 +173,10 @@ def history_stream(
     n = int(taken.size)
     bits = taken.astype(np.int64)
     history = np.zeros(n, dtype=np.int64)
-    for age in range(1, history_bits + 1):
+    # ``age`` capped at the stream length: a short stream (e.g. the
+    # tail chunk of a streamed replay) contributes fewer shifted adds,
+    # and a negative slice stop would wrap around.
+    for age in range(1, min(history_bits, n) + 1):
         history[age:] += bits[: n - age] << (age - 1)
     mask = (1 << history_bits) - 1
     if initial_history:

@@ -405,8 +405,23 @@ class CacheHierarchy:
         exactly the access subsequence it would have seen under the
         per-line cascade of :meth:`access_line`, so every hit/miss
         decision — and thus :meth:`stats` — is identical.
+
+        Long streams cascade in bounded windows
+        (:func:`repro.kernels.stream_chunk_events` lines each) so the
+        classifier's temporaries stay O(window) at production frame
+        counts.  Exact by construction: :meth:`Cache.access_batch`
+        carries the warm per-set state between successive batches, so
+        N windows are the same computation as one.
         """
         stream = np.ascontiguousarray(lines, dtype=np.int64)
+        window = kernels.stream_chunk_events()
+        if window and stream.size > window:
+            for start in range(0, int(stream.size), window):
+                chunk = stream[start : start + window]
+                chunk = self.l1d.access_batch(chunk)
+                chunk = self.l2.access_batch(chunk)
+                self.llc.access_batch(chunk)
+            return
         stream = self.l1d.access_batch(stream)
         stream = self.l2.access_batch(stream)
         self.llc.access_batch(stream)

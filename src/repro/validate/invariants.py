@@ -18,6 +18,14 @@ inputs:
   :meth:`~repro.uarch.branch.base.BranchPredictor.replay` kernel
   matches the scalar predict/update loop: same mispredict count and
   indistinguishable post-replay state.
+- **replay-chunk-parity** — streaming replay over bounded-window
+  chunks with carried predictor state is bit-equal to whole-trace
+  replay, both as raw chunk calls and through ``run_trace`` under a
+  forced ``stream_chunk`` window.
+- **replay-batch-parity** — the batched multi-stream
+  :meth:`~repro.uarch.branch.base.BranchPredictor.replay_batch` kernel
+  matches per-stream replays from the same starting state and leaves
+  the predictor itself untouched.
 - **predictor-replay-determinism** — replaying one branch stream on
   two fresh instances of any predictor yields identical predictions.
 - **tage-fold-reference** — TAGE's incrementally folded history
@@ -40,6 +48,8 @@ from .. import kernels
 from ..errors import SimulationError, ValidationError
 from ..obs.context import current_obs
 from ..obs.span import trace_span
+from ..trace.branchtrace import BranchTrace
+from ..uarch.branch.base import run_trace
 from ..uarch.branch.bimodal import BimodalPredictor
 from ..uarch.branch.gshare import gshare_2kb
 from ..uarch.branch.perceptron import PerceptronPredictor
@@ -299,6 +309,100 @@ def _replay_scalar_parity(rng: np.random.Generator, case: int) -> list[str]:
     return failures
 
 
+def _replay_chunk_parity(rng: np.random.Generator, case: int) -> list[str]:
+    failures: list[str] = []
+    stream = _random_branch_stream(rng)
+    pcs = np.array([pc for pc, _ in stream], dtype=np.int64)
+    taken = np.array([t for _, t in stream], dtype=np.uint8)
+    trace = BranchTrace.from_columns(
+        pcs, taken, window_instructions=float(len(stream)) * 5.0
+    )
+    # Windows small enough that every trace spans several chunks, and
+    # randomized so chunk boundaries land mid-history.
+    window = int(rng.integers(16, 128))
+    probe = _random_branch_stream(rng, count=100)
+    for factory in REPLAY_PARITY_FACTORIES:
+        whole, chunked = factory(), factory()
+        expect = int(whole.replay(pcs, taken))
+        total = sum(
+            int(chunked.replay(c_pcs, c_taken))
+            for c_pcs, c_taken in trace.iter_chunks(window)
+        )
+        if total != expect:
+            failures.append(
+                f"case {case}: {whole.name} chunked mispredicts {total} "
+                f"!= whole-trace {expect} (window {window})"
+            )
+            continue
+        with kernels.stream_chunk(window):
+            streamed = run_trace(factory(), trace)
+        if streamed.mispredicts != expect:
+            failures.append(
+                f"case {case}: {whole.name} run_trace under stream_chunk "
+                f"({window}) counted {streamed.mispredicts} != {expect}"
+            )
+            continue
+        # Carried state: after the last chunk the predictor must be
+        # indistinguishable from the whole-trace-replayed one.
+        for pc, outcome in probe:
+            if whole.predict_update(pc, outcome) != chunked.predict_update(
+                pc, outcome
+            ):
+                failures.append(
+                    f"case {case}: {whole.name} post-chunk state diverged "
+                    f"(window {window})"
+                )
+                break
+    return failures
+
+
+def _replay_batch_parity(rng: np.random.Generator, case: int) -> list[str]:
+    failures: list[str] = []
+    streams = []
+    for _ in range(3):
+        events = _random_branch_stream(
+            rng, count=int(rng.integers(50, 300))
+        )
+        streams.append(
+            (
+                np.array([pc for pc, _ in events], dtype=np.int64),
+                np.array([t for _, t in events], dtype=np.uint8),
+            )
+        )
+    warmup = _random_branch_stream(rng, count=60)
+    probe = _random_branch_stream(rng, count=100)
+    for factory in REPLAY_PARITY_FACTORIES:
+        # Warmed state: every stream must replay from the *same*
+        # starting point, and batching must not train that state.
+        batcher, witness = factory(), factory()
+        for pc, outcome in warmup:
+            batcher.predict_update(pc, outcome)
+            witness.predict_update(pc, outcome)
+        expected = []
+        for pcs, taken in streams:
+            clone = factory()
+            for pc, outcome in warmup:
+                clone.predict_update(pc, outcome)
+            expected.append(int(clone.replay(pcs, taken)))
+        got = [int(n) for n in batcher.replay_batch(streams)]
+        if got != expected:
+            failures.append(
+                f"case {case}: {batcher.name} replay_batch {got} "
+                f"!= per-stream {expected}"
+            )
+            continue
+        for pc, outcome in probe:
+            if batcher.predict_update(pc, outcome) != witness.predict_update(
+                pc, outcome
+            ):
+                failures.append(
+                    f"case {case}: {batcher.name} replay_batch mutated "
+                    "the predictor it ran on"
+                )
+                break
+    return failures
+
+
 def _predictor_replay(rng: np.random.Generator, case: int) -> list[str]:
     failures: list[str] = []
     stream = _random_branch_stream(rng)
@@ -382,6 +486,16 @@ INVARIANTS: dict[str, tuple[str, Callable[[np.random.Generator, int], list[str]]
         "Vectorized predictor replay kernels match the scalar "
         "predict/update loop, counts and state.",
         _replay_scalar_parity,
+    ),
+    "replay-chunk-parity": (
+        "Chunked streaming replay with carried state is bit-equal to "
+        "whole-trace replay, counts and state.",
+        _replay_chunk_parity,
+    ),
+    "replay-batch-parity": (
+        "Batched multi-stream replay matches per-stream replays from "
+        "the same state and leaves the predictor untouched.",
+        _replay_batch_parity,
     ),
     "predictor-replay-determinism": (
         "Every branch predictor is deterministic under trace replay.",

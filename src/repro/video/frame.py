@@ -183,6 +183,11 @@ class Video:
         self.frames = frames
         self.fps = float(fps)
         self.name = name
+        #: Backing shared-memory segment, when the frames' planes are
+        #: zero-copy views over one (:mod:`repro.parallel.shm` sets
+        #: this on attach).  Held here so the mapping outlives every
+        #: view; ``None`` for ordinary in-process videos.
+        self.shm = None
 
     @property
     def width(self) -> int:

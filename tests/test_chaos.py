@@ -50,6 +50,7 @@ from repro.parallel.pool import (  # noqa: E402
     activate_parallel,
     resolve_supervision,
 )
+from repro.parallel.shm import SEGMENT_PREFIX, leaked_segments  # noqa: E402
 from repro.parallel.supervise import (  # noqa: E402
     HeartbeatWriter,
     Lease,
@@ -82,6 +83,10 @@ def stub_characterize(monkeypatch):
 
     def fake(codec, video, machine=None, crf=None, preset=None,
              num_frames=None):
+
+        # the session resolves catalog clips to Video objects now
+
+        video = getattr(video, "name", video)
         calls.append((codec, video, crf, preset))
         return synthetic_report(codec, video, crf=crf, preset=preset)
 
@@ -170,6 +175,62 @@ class TestChaosParity:
         ]
         assert len(completions) == GRID_CELLS
         assert len({r.cell_key for r in completions}) == GRID_CELLS
+
+
+class TestShmChaos:
+    """Worker deaths while attached to shared-memory segments.
+
+    The data plane's unlink guarantee: segments live only for the
+    sweep, survive worker SIGKILL + pool rebuild (the parent owns
+    them), and are gone from ``/dev/shm`` once the sweep returns —
+    with the merged results still bit-identical to serial.
+    """
+
+    @staticmethod
+    def _own_segments():
+        # Scoped to segments this process published, so concurrent
+        # runs on the same host cannot false-positive the leak check.
+        return leaked_segments(prefix=f"{SEGMENT_PREFIX}{os.getpid()}-")
+
+    def test_sigkill_while_attached_leaks_nothing(
+        self, stub_characterize, tmp_path
+    ):
+        assert self._own_segments() == []
+        serial = run_experiment("fig04", workers=1)
+        # crf 35 is never a worker's first cell for that video, so the
+        # killed worker already holds an attachment to the segment.
+        plan = FaultPlan.parse("cell:svt-av1:game1:35:*@kill@times=1")
+        ledger = str(tmp_path / "shm-kill.jsonl")
+        pooled = run_experiment(
+            "fig04", workers=WORKERS, fault_plan=plan,
+            ledger_path=ledger, **FAST_HB,
+        )
+        assert pooled.tables == serial.tables
+        assert pooled.series == serial.series
+        assert _supervision(pooled)["worker_restarts"] >= 1
+        assert RunLedger(ledger).unresolved_leases() == []
+        assert self._own_segments() == []
+
+    def test_poisoned_sweep_still_unlinks(
+        self, stub_characterize, tmp_path
+    ):
+        plan = FaultPlan.parse("cell:svt-av1:game1:60:*@kill@times=*")
+        result = run_experiment(
+            "fig04", workers=WORKERS, fault_plan=plan,
+            ledger_path=str(tmp_path / "shm-poison.jsonl"), **FAST_HB,
+        )
+        assert len(result.tables[0].rows) == GRID_CELLS - 1
+        assert self._own_segments() == []
+
+    def test_aborted_sweep_still_unlinks(self, stub_characterize, tmp_path):
+        plan = FaultPlan.parse("cell:svt-av1:game1:60:*@kill@times=*")
+        with pytest.raises(ExperimentError, match="max-worker-restarts"):
+            run_experiment(
+                "fig04", workers=WORKERS, fault_plan=plan,
+                ledger_path=str(tmp_path / "shm-abort.jsonl"),
+                max_worker_restarts=1, **FAST_HB,
+            )
+        assert self._own_segments() == []
 
 
 class TestPoisonCells:
@@ -380,6 +441,10 @@ class TestGracefulDrain:
 
         def fake(codec, video, machine=None, crf=None, preset=None,
                  num_frames=None):
+
+            # the session resolves catalog clips to Video objects now
+
+            video = getattr(video, "name", video)
             calls.append(video)
             if len(calls) == 3 and not fired:
                 fired.append(True)

@@ -373,6 +373,8 @@ class TestTimingSummary:
 def stub_characterize(monkeypatch):
     def fake(codec, video, machine=None, crf=None, preset=None,
              num_frames=None):
+        # the session resolves catalog clips to Video objects now
+        video = getattr(video, "name", video)
         return synthetic_report(codec, video, crf=crf, preset=preset)
 
     monkeypatch.setattr(session_mod, "characterize", fake)

@@ -51,6 +51,10 @@ def stub_characterize(monkeypatch):
 
     def fake(codec, video, machine=None, crf=None, preset=None,
              num_frames=None):
+
+        # the session resolves catalog clips to Video objects now
+
+        video = getattr(video, "name", video)
         calls.append((codec, video, crf, preset))
         return synthetic_report(codec, video, crf=crf, preset=preset)
 
@@ -322,6 +326,8 @@ class TestQuarantinePlaceholders:
     ):
         def exploding(codec, video, machine=None, crf=None, preset=None,
                       num_frames=None):
+            # the session resolves catalog clips to Video objects now
+            video = getattr(video, "name", video)
             if video == "desktop":
                 raise RuntimeError("boom")
             return synthetic_report(codec, video, crf=crf, preset=preset)

@@ -162,6 +162,10 @@ class TestSessionCacheIntegration:
 
         def fake(codec, video, machine=None, crf=None, preset=None,
                  num_frames=None):
+
+            # the session resolves catalog clips to Video objects now
+
+            video = getattr(video, "name", video)
             calls.append((codec, video, crf, preset))
             return synthetic_report(codec, video, crf=crf, preset=preset)
 

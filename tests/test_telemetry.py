@@ -74,6 +74,10 @@ def stub_characterize(monkeypatch):
 
     def fake(codec, video, machine=None, crf=None, preset=None,
              num_frames=None):
+
+        # the session resolves catalog clips to Video objects now
+
+        video = getattr(video, "name", video)
         calls.append((codec, video, crf, preset))
         return synthetic_report(codec, video, crf=crf, preset=preset)
 
@@ -270,7 +274,8 @@ class TestRunStatusMath:
             WorkerView(
                 stream="worker-1", role="worker", pid=1, samples=3,
                 first_wall=900.0, last_wall=999.0, rss_kib=1024.0,
-                cpu_seconds=1.0, inflight=None, last_kind="sample",
+                peak_rss_kib=2048.0, cpu_seconds=1.0, inflight=None,
+                last_kind="sample",
             ),
         ]
         for key, value in overrides.items():
