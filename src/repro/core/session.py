@@ -280,7 +280,7 @@ class Session:
     def prefetch(
         self,
         specs: Iterable[tuple],
-        workers: int | None = None,
+        workers: int | str | None = None,
     ) -> int:
         """Compute a batch of ``(codec, video, crf, preset)`` cells.
 

@@ -191,7 +191,7 @@ def run_experiment(
     span_log: str | None = None,
     run_dir: str | None = None,
     obs: ObsContext | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
     cache_dir: str | None = None,
     cache_salt: str = "",
     heartbeat_interval: float | None = None,
@@ -244,8 +244,9 @@ def run_experiment(
         (testing — e.g. with a fake clock); one is created per run
         otherwise.
     workers:
-        Sweep cells execute over a process pool of this size (``0`` =
-        one per core); sweep grids are merged back in deterministic
+        Sweep cells execute over a process pool of this size
+        (``"auto"`` = one per core); sweep grids are merged back in
+        deterministic
         point order, so results match a serial run.  Defaults to
         ``REPRO_WORKERS``, else serial.
     cache_dir:

@@ -83,18 +83,51 @@ def vectorized_kernels() -> Iterator[None]:
         _forced.pop()
 
 
+# Memoised env resolution: raw string -> validated window.  One entry
+# per distinct raw value, so the (hot) per-kernel lookup is a dict hit
+# and the structured warning for a bad value fires once, not per cell.
+_chunk_env_cache: dict[str, int] = {}
+
+
+def _resolve_chunk_env(raw: str) -> int:
+    """Validate one ``REPRO_REPLAY_CHUNK`` value, warning on garbage.
+
+    Only a non-negative integer is accepted (``0`` = unbounded, the
+    documented way to disable chunking).  Anything else — non-numeric
+    *or negative* — falls back to the default with a structured
+    warning event.  The old parser silently clamped negatives to 0,
+    which read as "disable chunking": a typo like ``-1`` quietly
+    removed the memory bound this subsystem exists to provide.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 0:
+        from .obs import events as obs_events
+
+        obs_events.warn(
+            "kernel.chunk.invalid",
+            f"{CHUNK_ENV}={raw!r} is not a non-negative integer; "
+            f"using the default window",
+            raw=raw,
+            default=DEFAULT_STREAM_CHUNK,
+        )
+        return DEFAULT_STREAM_CHUNK
+    return value
+
+
 def stream_chunk_events() -> int:
     """Streaming window in events per chunk; ``0`` means unbounded."""
     if _forced_chunk:
         return _forced_chunk[-1]
     raw = os.environ.get(CHUNK_ENV, "")
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = DEFAULT_STREAM_CHUNK
-        return max(value, 0)
-    return DEFAULT_STREAM_CHUNK
+    if not raw:
+        return DEFAULT_STREAM_CHUNK
+    value = _chunk_env_cache.get(raw)
+    if value is None:
+        value = _chunk_env_cache[raw] = _resolve_chunk_env(raw)
+    return value
 
 
 @contextmanager

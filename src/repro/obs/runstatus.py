@@ -63,10 +63,22 @@ class WorkerView:
     cpu_seconds: float | None
     inflight: str | None         # cell key annotated as in flight
     last_kind: str               # "sample" | "final" | "sweep"
+    #: Monotonic-clock anchors of the first/last sample.  Monotonic
+    #: values are only comparable *within* one stream (one process),
+    #: but there a delta is a true duration — immune to the wall-clock
+    #: steps (NTP, suspend) that made the old ETA math lie.
+    first_mono: float | None = None
+    last_mono: float | None = None
 
     def age(self, now_wall: float) -> float:
         """Seconds since this stream's last sample."""
         return max(0.0, now_wall - self.last_wall)
+
+    def mono_span(self) -> float | None:
+        """This stream's observed lifetime as a monotonic delta."""
+        if self.first_mono is None or self.last_mono is None:
+            return None
+        return max(0.0, self.last_mono - self.first_mono)
 
 
 @dataclass(frozen=True)
@@ -122,23 +134,54 @@ class RunStatus:
             return None
         return sum(self.durations) / len(self.durations)
 
-    def throughput(self) -> float | None:
-        """Completed cells per second over the run so far."""
+    def elapsed_seconds(self) -> float | None:
+        """How long the run has been (or was) executing.
+
+        Anchored on the parent telemetry stream's monotonic span when
+        one exists: within a single process a monotonic delta is a
+        true duration, where wall-clock subtraction (the old math)
+        breaks the moment NTP steps the clock or the host suspends —
+        it produced negative throughput and ETAs in the past.  Runs
+        without telemetry fall back to manifest wall math, clamped to
+        never go negative.
+        """
+        for worker in self.workers:
+            if worker.role != "parent":
+                continue
+            span = worker.mono_span()
+            if span is not None and span > 0:
+                return span
         started = self.manifest.get("started_wall")
-        if started is None or not self.cells_completed:
+        if started is None:
             return None
         end = self.manifest.get("ended_wall") or self.generated_wall
-        elapsed = end - started
-        return self.cells_completed / elapsed if elapsed > 0 else None
+        return max(0.0, end - started)
+
+    def throughput(self) -> float | None:
+        """Completed cells per second over the run so far.
+
+        ``None`` before the first completed cell and whenever elapsed
+        time is unknown or degenerate — never a division by a clock
+        artifact.
+        """
+        if not self.cells_completed:
+            return None
+        elapsed = self.elapsed_seconds()
+        if elapsed is None or elapsed <= 0:
+            return None
+        return self.cells_completed / elapsed
 
     def eta_seconds(self) -> float | None:
         """Naive remaining-work estimate for a live run.
 
-        remaining cells x mean completed-cell seconds / live workers.
-        ``None`` when the plan size, the durations or any live worker
-        is unknown — an honest "can't say" beats a fabricated number.
+        remaining cells x mean completed-cell seconds / live workers,
+        clamped at zero.  ``None`` when nothing has completed yet or
+        the plan size / durations / live workers are unknown — an
+        honest "can't say" beats a fabricated number.
         """
         if self.cells_planned is None or not self.running:
+            return None
+        if not self.cells_completed:
             return None
         mean = self.mean_cell_seconds()
         if mean is None:
@@ -146,12 +189,24 @@ class RunStatus:
         remaining = max(
             0, self.cells_planned + len(self.resumable) - self.cells_completed
         )
-        live = [w for w in self.workers if w.role == "worker"]
-        if remaining and not live:
-            return None
         if not remaining:
             return 0.0
-        return remaining * mean / len(live)
+        # Workers whose stream already closed ("final") are not coming
+        # back; counting them deflated every ETA near the end of a run.
+        live = [
+            w
+            for w in self.workers
+            if w.role == "worker" and w.last_kind != "final"
+        ]
+        if not live:
+            return None
+        return max(0.0, remaining * mean / len(live))
+
+
+def _maybe_float(value: Any) -> float | None:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
 
 
 def _read_manifest(run_dir: str, status: RunStatus) -> None:
@@ -227,6 +282,8 @@ def _read_workers(run_dir: str, status: RunStatus) -> None:
                 cpu_seconds=last.get("cpu_seconds"),
                 inflight=last.get("inflight"),
                 last_kind=str(last.get("kind", "sample")),
+                first_mono=_maybe_float(samples[0].get("mono")),
+                last_mono=_maybe_float(last.get("mono")),
             )
         )
     status.workers.sort(key=lambda w: (w.role != "parent", w.pid))

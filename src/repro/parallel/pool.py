@@ -112,7 +112,7 @@ class ParallelConfig:
     resilience and observability contexts).
     """
 
-    workers: int | None = None       # None -> env -> 1; 0 -> all cores
+    workers: int | str | None = None  # None -> env -> 1; "auto" -> cores
     cache_dir: str | None = None     # None -> env -> no cache
     cache_salt: str = ""
     #: Supervision knobs; ``None`` falls through env to the defaults.
@@ -123,6 +123,13 @@ class ParallelConfig:
     #: ``repro status``) and every worker streams telemetry samples
     #: into ``<run-dir>/telemetry/``.
     run_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        # Reject nonsense at construction, not deep inside a sweep.
+        # (The historical "0 means one per core" special case parsed
+        # differently at every layer; 0 is now an error everywhere and
+        # "auto" is the one spelling of one-worker-per-core.)
+        _check_workers(self.workers)
 
 
 _current: ParallelConfig | None = None
@@ -145,27 +152,61 @@ def activate_parallel(config: ParallelConfig) -> Iterator[ParallelConfig]:
         _current = previous
 
 
-def resolve_workers(workers: int | None = None) -> int:
+#: The one spelling of "one worker per core" at every layer.
+WORKERS_AUTO = "auto"
+
+
+def _check_workers(workers: int | str | None) -> int | str | None:
+    """Validate a worker-count setting without resolving it.
+
+    Accepts ``None`` (inherit), ``"auto"`` (one per core) or a
+    positive integer; everything else — including the historical
+    ``0``, which different layers used to read as "auto", "serial" or
+    "invalid" depending on the code path — raises up front.
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, str):
+        if workers.strip().lower() == WORKERS_AUTO:
+            return WORKERS_AUTO
+        raise ExperimentError(
+            f"worker count {workers!r} is not an integer or 'auto'"
+        )
+    if isinstance(workers, bool) or workers < 1:
+        raise ExperimentError(
+            f"worker count must be >= 1, got {workers!r} "
+            f"(use 'auto' for one worker per core)"
+        )
+    return workers
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
     """Effective worker count: explicit > ambient > env > 1.
 
-    ``0`` anywhere in the chain means "one worker per core".
+    ``"auto"`` anywhere in the chain means "one worker per core";
+    ``0`` is an error everywhere (it used to silently mean auto here
+    while the CLI documented it and ``ParallelConfig`` ignored it —
+    three layers, three semantics).
     """
     if workers is None and _current is not None:
         workers = _current.workers
     if workers is None:
         raw = os.environ.get(_ENV_WORKERS, "")
         if raw:
-            try:
-                workers = int(raw)
-            except ValueError:
-                raise ExperimentError(
-                    f"{_ENV_WORKERS}={raw!r} is not an integer"
-                ) from None
+            if raw.strip().lower() == WORKERS_AUTO:
+                workers = WORKERS_AUTO
+            else:
+                try:
+                    workers = int(raw)
+                except ValueError:
+                    raise ExperimentError(
+                        f"{_ENV_WORKERS}={raw!r} is not an integer or "
+                        f"'auto'"
+                    ) from None
     if workers is None:
         return 1
-    if workers < 0:
-        raise ExperimentError(f"worker count must be >= 0, got {workers}")
-    if workers == 0:
+    workers = _check_workers(workers)
+    if workers == WORKERS_AUTO:
         return os.cpu_count() or 1
     return workers
 

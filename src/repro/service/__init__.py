@@ -1,0 +1,74 @@
+"""Encode-farm service layer: jobs, fair-share scheduling, admission.
+
+The service wraps ``run_experiment`` and the supervised worker pool
+behind a long-running job API.  Submodules:
+
+- :mod:`repro.service.jobs` — the job model and its append-only
+  event log (``jobs.jsonl``).
+- :mod:`repro.service.estimate` — pre-execution cost estimation from
+  complexity features (the admission currency).
+- :mod:`repro.service.queue` — weighted fair-share queue and the
+  admission controller.
+- :mod:`repro.service.dispatch` — job-tier lease execution (one
+  heartbeat-supervised ``run_experiment`` per job, always resumable).
+- :mod:`repro.service.service` — :class:`EncodeFarmService`, the
+  serve loop that ties the above together.
+- :mod:`repro.service.status` — read-only status documents for
+  ``repro jobs`` / ``repro status``.
+"""
+
+from .dispatch import dispatch_job, job_result_path, load_job_result
+from .estimate import CostEstimate, estimate_cell, estimate_experiment
+from .jobs import (
+    ACTIVE_STATES,
+    JOB_LOG_FILE,
+    TERMINAL_STATES,
+    Job,
+    JobLog,
+    JobRecord,
+    job_dir,
+    new_job_id,
+    replay_jobs,
+)
+from .queue import (
+    AdmissionController,
+    FairShareQueue,
+    TenantPolicy,
+    Verdict,
+    job_cost,
+)
+from .service import EncodeFarmService, ServiceConfig, submit_job
+from .status import (
+    format_service_status,
+    is_service_dir,
+    load_service_status,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "AdmissionController",
+    "CostEstimate",
+    "EncodeFarmService",
+    "FairShareQueue",
+    "JOB_LOG_FILE",
+    "Job",
+    "JobLog",
+    "JobRecord",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "TenantPolicy",
+    "Verdict",
+    "dispatch_job",
+    "estimate_cell",
+    "estimate_experiment",
+    "format_service_status",
+    "is_service_dir",
+    "job_cost",
+    "job_dir",
+    "job_result_path",
+    "load_job_result",
+    "load_service_status",
+    "new_job_id",
+    "replay_jobs",
+    "submit_job",
+]

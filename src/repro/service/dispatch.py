@@ -1,0 +1,101 @@
+"""Job dispatch: run one admitted job under a job-tier lease.
+
+This is the PR-6 cell lease/heartbeat contract lifted one tier up.
+While a dispatcher executes a job it beats a per-job heartbeat
+sidecar (``<service-dir>/heartbeats/<job-id>.jsonl``) — the same
+:class:`~repro.parallel.supervise.HeartbeatWriter` pool workers use —
+and the job's ``lease`` record in the job log names the dispatcher
+pid.  A service process that finds a leased job whose dispatcher is
+dead (or silent past the stall deadline) marks the lease ``lost`` and
+requeues the job; because every job executes with ``resume=True``
+against its own run directory, the *next* dispatch replays the cells
+the dead dispatcher already finished from the on-disk ledger and only
+computes the remainder.  A job is therefore exactly as crash-safe as
+its cells.
+
+The job's sweep grid itself is sharded by the existing supervised
+worker pool (:mod:`repro.parallel.pool`): ``dispatch_job`` simply
+passes the job's worker count through ``run_experiment``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+from ..parallel.supervise import HeartbeatWriter
+from .jobs import Job, job_dir, job_heartbeat_path
+
+#: Name of the serialized :class:`~repro.core.report.ExperimentResult`
+#: inside a job's run directory.
+RESULT_FILE = "result.json"
+
+
+def job_result_path(service_dir: str, job_id: str) -> str:
+    return os.path.join(job_dir(service_dir, job_id), RESULT_FILE)
+
+
+def load_job_result(service_dir: str, job_id: str) -> dict[str, Any] | None:
+    """The completed job's result document, or ``None`` if absent."""
+    path = job_result_path(service_dir, job_id)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def dispatch_job(
+    service_dir: str,
+    job: Job,
+    *,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+    heartbeat_interval: float = 0.5,
+) -> dict[str, Any]:
+    """Execute one job to completion; returns the completion meta.
+
+    Heartbeats run for the whole execution.  ``resume=True`` makes
+    every dispatch a resume of whatever an earlier (possibly killed)
+    dispatch left in the job's run directory — a fresh job simply has
+    an empty ledger.  Exceptions propagate to the caller, which owns
+    the ``failed``/``lost`` bookkeeping.
+    """
+    # Imported here, not at module top: repro.experiments imports the
+    # pool engine and the experiment modules — heavyweight for
+    # read-only service consumers (``repro jobs``).
+    from ..experiments import run_experiment
+
+    run_directory = job_dir(service_dir, job.job_id)
+    heartbeat = HeartbeatWriter(
+        job_heartbeat_path(service_dir, job.job_id),
+        key=job.job_id,
+        interval=heartbeat_interval,
+    )
+    heartbeat.start()
+    started = time.monotonic()
+    try:
+        result = run_experiment(
+            job.experiment_id,
+            run_dir=run_directory,
+            resume=True,
+            workers=job.workers if job.workers is not None else workers,
+            cache_dir=cache_dir,
+            heartbeat_interval=heartbeat_interval,
+        )
+    finally:
+        heartbeat.stop()
+    elapsed = time.monotonic() - started
+    result_path = job_result_path(service_dir, job.job_id)
+    with open(result_path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_json(indent=2))
+        handle.write("\n")
+    return {
+        "result_path": os.path.relpath(result_path, service_dir),
+        "elapsed_seconds": round(elapsed, 6),
+        "cells": result.provenance.get("cells", 0),
+        "resumed_cells": result.provenance.get("resumed", 0),
+        "quarantined_cells": len(result.provenance.get("quarantined", [])),
+    }

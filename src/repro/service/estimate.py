@@ -1,0 +1,203 @@
+"""Pre-execution cost estimation for admission control.
+
+arXiv 2401.16067 shows SVT-AV1 encoding time is predictable *before
+encoding* from cheap video complexity features; the service layer
+uses the same idea one tier up: estimate a whole job's cost from
+features that are free to compute — the sweep grid's shape and each
+clip's catalog complexity — and let admission control reject or
+bound work **before** a single frame is touched.
+
+The model is deliberately a heuristic, not a fit: cost scales with
+
+- pixels per frame x frames (the work surface),
+- the clip's published vbench entropy (texture/motion complexity —
+  the paper's fig04 shows instruction count tracking content),
+- a per-codec weight (AV1-family encoders burn ~an order of magnitude
+  more instructions than x264 — paper fig01),
+- a preset factor (slower presets search more — paper fig11).
+
+Absolute accuracy does not matter; admission only needs the estimate
+to be *monotone* in the true cost (more cells, heavier codecs, higher
+entropy => larger estimate), which the unit tests pin.  Tenants'
+budgets are expressed in the same estimated-seconds currency, so a
+recalibration rescales everyone equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ServiceError
+from ..video import vbench
+
+#: Calibration constant: estimated seconds per (kilopixel x frame) for
+#: x264 at the reference preset on a zero-entropy clip.
+BASE_SECONDS_PER_KILOPIXEL_FRAME = 0.004
+
+#: Relative instruction-cost weights per encoder (paper fig01: the
+#: AV1-family encoders are the expensive end; x264 the cheap one).
+CODEC_WEIGHTS: dict[str, float] = {
+    "x264": 1.0,
+    "x265": 2.5,
+    "libvpx-vp9": 3.0,
+    "libaom": 9.0,
+    "svt-av1": 5.0,
+}
+DEFAULT_CODEC_WEIGHT = 4.0
+
+#: Preset factor anchor: preset 8 (fastest) = 1.0, each step toward 0
+#: multiplies work (paper fig11's instruction growth across presets).
+PRESET_STEP_FACTOR = 1.25
+REFERENCE_PRESET = 8
+
+
+@dataclass(frozen=True)
+class CellEstimate:
+    """Estimated cost of one (codec, video, crf, preset) cell."""
+
+    codec: str
+    video: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated cost of one whole job (one experiment run)."""
+
+    experiment_id: str
+    cells: int
+    seconds: float
+    #: The features the estimate derived from, for the job record and
+    #: post-hoc calibration against observed elapsed times.
+    features: dict
+
+    def to_jsonable(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "cells": self.cells,
+            "seconds": round(self.seconds, 6),
+            "features": self.features,
+        }
+
+
+def preset_factor(preset: int) -> float:
+    """Work multiplier of a speed preset relative to the fastest."""
+    return PRESET_STEP_FACTOR ** max(0, REFERENCE_PRESET - int(preset))
+
+
+def estimate_cell(
+    codec: str,
+    video: str,
+    preset: int,
+    num_frames: int | None = None,
+) -> CellEstimate:
+    """Estimated seconds for one characterization cell.
+
+    Unknown clips get the catalog's median geometry and entropy — the
+    estimate must never raise for a cell the encoder itself would
+    accept (estimation failure is not an admission verdict).
+    """
+    try:
+        entry = vbench.entry(video)
+        width, height = entry.proxy_size
+        entropy = entry.entropy
+    except Exception:  # noqa: BLE001 - unknown clip: neutral features
+        width, height = 128, 72
+        entropy = 4.0
+    frames = num_frames if num_frames is not None else vbench.DEFAULT_NUM_FRAMES
+    kilopixel_frames = width * height * frames / 1000.0
+    seconds = (
+        BASE_SECONDS_PER_KILOPIXEL_FRAME
+        * kilopixel_frames
+        * (1.0 + entropy / 4.0)
+        * CODEC_WEIGHTS.get(codec, DEFAULT_CODEC_WEIGHT)
+        * preset_factor(preset)
+    )
+    return CellEstimate(codec=codec, video=video, seconds=seconds)
+
+
+def estimate_grid(
+    specs: Iterable[tuple],
+    num_frames: int | None = None,
+) -> tuple[int, float]:
+    """(cells, estimated seconds) for a ``(codec, video, crf, preset)``
+    grid.  CRF barely moves instruction count (paper fig04's flat IPC /
+    ~±10% instructions), so it is deliberately not a feature."""
+    cells = 0
+    seconds = 0.0
+    for codec, video, _crf, preset in specs:
+        cells += 1
+        seconds += estimate_cell(codec, video, preset, num_frames).seconds
+    return cells, seconds
+
+
+def experiment_grid(experiment_id: str) -> list[tuple]:
+    """The (codec, video, crf, preset) grid an experiment will sweep.
+
+    Derived from the same :mod:`repro.experiments.common` helpers the
+    experiments read (so ``REPRO_FAST`` shrinks the estimate exactly
+    as it shrinks the run).  Experiments without a session sweep grid
+    (the CBP figures, table2) are modelled as one nominal cell per
+    clip.  Raises :class:`~repro.errors.ServiceError` for ids the
+    registry does not know.
+    """
+    # Imported here: repro.experiments imports the parallel engine,
+    # and the service package must stay importable without it.
+    from ..experiments import experiment_ids
+    from ..experiments import common
+
+    if experiment_id not in experiment_ids():
+        raise ServiceError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(experiment_ids())}"
+        )
+    videos = common.sweep_videos()
+    crfs = common.sweep_crfs()
+    presets = common.sweep_presets()
+    if experiment_id in ("fig04", "fig05", "fig06", "fig07"):
+        return [
+            ("svt-av1", video, crf, 4) for video in videos for crf in crfs
+        ]
+    if experiment_id == "fig11":
+        return [
+            ("svt-av1", video, 40, preset)
+            for video in videos
+            for preset in presets
+        ]
+    if experiment_id in ("fig01", "fig02", "fig03", "table1"):
+        return [
+            (codec, video, 40, 6)
+            for codec in common.ALL_CODECS
+            for video in videos
+        ]
+    if experiment_id in ("fig12", "fig13", "fig14", "fig15", "fig16"):
+        return [
+            (codec, video, 40, 6)
+            for codec in common.THREAD_CODECS
+            for video in videos
+        ]
+    # CBP harness figures, table2 and future ids: one nominal
+    # reference-codec cell per clip keeps the estimate conservative
+    # and monotone in catalog size.
+    return [("svt-av1", video, 40, 6) for video in videos]
+
+
+def estimate_experiment(
+    experiment_id: str,
+    num_frames: int | None = None,
+) -> CostEstimate:
+    """Estimated cost of one experiment-shaped job."""
+    grid = experiment_grid(experiment_id)
+    cells, seconds = estimate_grid(grid, num_frames)
+    codecs = sorted({codec for codec, *_ in grid})
+    return CostEstimate(
+        experiment_id=experiment_id,
+        cells=cells,
+        seconds=seconds,
+        features={
+            "codecs": codecs,
+            "videos": len({video for _, video, *_ in grid}),
+            "num_frames": num_frames,
+        },
+    )

@@ -1,0 +1,332 @@
+"""The encode-farm job model and its persistent event log.
+
+A *job* is one experiment-sized unit of work submitted to the
+long-running service: "regenerate fig04 for tenant A at priority 2".
+Its whole lifecycle is an append-only JSONL event stream in the
+service directory (``jobs.jsonl``), one :class:`JobRecord` per
+transition:
+
+``submitted``
+    The job entered the system (full spec rides on this record).
+    Written by :meth:`~repro.service.EncodeFarmService.submit` or by
+    a separate ``repro submit`` process appending to the shared log.
+``admitted`` / ``rejected``
+    The admission verdict (see :mod:`repro.service.queue`); only
+    admitted jobs enter the fair-share queue.
+``lease`` / ``lost``
+    The job-tier lease: a dispatcher process picked the job up
+    (``lease`` carries its pid and heartbeat file) or was discovered
+    dead while holding it (``lost`` — the job returns to the queue
+    and its next dispatch *resumes* from the job run directory's cell
+    ledger, the same contract pool cells have had since PR 6).
+``completed`` / ``failed`` / ``cancelled``
+    Terminal outcomes.
+
+State is reconstruction, not storage: :func:`replay_jobs` folds the
+stream into one :class:`Job` per id, latest record winning — exactly
+the resilience ledger's model, and the log shares its durability
+story: writers repair a torn final line before appending
+(:func:`repro.jsonlio.clean_tail`), readers of a possibly-live log
+drop one (:func:`repro.jsonlio.load_jsonl`), and corruption anywhere
+else raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator
+
+from ..errors import CheckpointError, ServiceError
+from ..jsonlio import clean_tail, load_jsonl
+
+#: Bump when the job-record layout changes incompatibly.
+JOB_SCHEMA_VERSION = 1
+
+#: The service directory's artifact names (the contract ``repro jobs``
+#: and ``repro status`` read; documented in OBSERVABILITY.md).
+JOB_LOG_FILE = "jobs.jsonl"
+JOBS_DIR = "jobs"
+SERVICE_HEARTBEAT_DIR = "heartbeats"
+SERVICE_METRICS_FILE = "metrics.prom"
+
+# Record kinds (one per lifecycle transition).
+SUBMITTED = "submitted"
+ADMITTED = "admitted"
+REJECTED = "rejected"
+LEASE = "lease"
+LOST = "lost"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_KINDS = (
+    SUBMITTED, ADMITTED, REJECTED, LEASE, LOST, COMPLETED, FAILED,
+    CANCELLED,
+)
+
+# Derived job states.
+PENDING = "pending"        # submitted, admission verdict outstanding
+QUEUED = "queued"          # admitted (or lease lost), awaiting dispatch
+RUNNING = "running"        # a dispatcher holds the lease
+#: States from which a job can still make progress.
+ACTIVE_STATES = (PENDING, QUEUED, RUNNING)
+#: Terminal states (nothing will ever append another record).
+TERMINAL_STATES = (REJECTED, COMPLETED, FAILED, CANCELLED)
+
+_KIND_TO_STATE = {
+    SUBMITTED: PENDING,
+    ADMITTED: QUEUED,
+    LOST: QUEUED,
+    LEASE: RUNNING,
+    REJECTED: REJECTED,
+    COMPLETED: COMPLETED,
+    FAILED: FAILED,
+    CANCELLED: CANCELLED,
+}
+
+
+def new_job_id() -> str:
+    """A short, filesystem-safe, collision-resistant job id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job-lifecycle event, as persisted in ``jobs.jsonl``."""
+
+    job_id: str
+    kind: str
+    wall: float = 0.0
+    #: Spec fields; populated on the ``submitted`` record only.
+    tenant: str = ""
+    experiment_id: str = ""
+    priority: int = 0
+    workers: int | None = None
+    num_frames: int | None = None
+    #: Estimated cost in seconds (see :mod:`repro.service.estimate`);
+    #: on ``submitted`` when the submitter estimated, else on
+    #: ``admitted``.
+    estimated_seconds: float | None = None
+    #: Transition context: rejection/failure reason, dispatcher pid,
+    #: heartbeat path, result path, elapsed seconds.
+    meta: dict[str, Any] | None = None
+    schema_version: int = JOB_SCHEMA_VERSION
+
+    def to_line(self) -> str:
+        data = asdict(self)
+        # Keep the common records short: drop empty spec fields.
+        for key in (
+            "tenant", "experiment_id", "priority", "workers",
+            "num_frames", "estimated_seconds", "meta",
+        ):
+            if not data.get(key) and data.get(key) != 0:
+                del data[key]
+            elif key in ("priority",) and data[key] == 0 and (
+                self.kind != SUBMITTED
+            ):
+                del data[key]
+        return json.dumps(data, sort_keys=True)
+
+    @classmethod
+    def from_line(cls, line: str) -> "JobRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"corrupt job record: {line[:80]!r}"
+            ) from exc
+        if (
+            not isinstance(data, dict)
+            or "job_id" not in data
+            or "kind" not in data
+        ):
+            raise CheckpointError(f"malformed job record: {line[:80]!r}")
+        version = data.get("schema_version", 0)
+        if version != JOB_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"job record schema version {version} unsupported "
+                f"(expected {JOB_SCHEMA_VERSION})"
+            )
+        if data["kind"] not in _KINDS:
+            raise CheckpointError(
+                f"unknown job record kind {data['kind']!r}"
+            )
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class Job:
+    """One job's current state, folded from its event records."""
+
+    job_id: str
+    tenant: str = "default"
+    experiment_id: str = ""
+    priority: int = 0
+    workers: int | None = None
+    num_frames: int | None = None
+    estimated_seconds: float | None = None
+    state: str = PENDING
+    submitted_wall: float = 0.0
+    updated_wall: float = 0.0
+    #: Monotone per-job sequence for FIFO tie-breaks: the index of the
+    #: job's ``submitted`` record in the log.
+    seq: int = 0
+    #: How many dispatch leases this job has consumed (``lost`` leases
+    #: included) — the job-tier analogue of cell attempts.
+    leases: int = 0
+    #: Context of the latest transition (reason, pid, result path...).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    def apply(self, record: JobRecord) -> None:
+        """Fold one event into this job's state (latest wins)."""
+        if record.kind == SUBMITTED:
+            self.tenant = record.tenant or self.tenant
+            self.experiment_id = record.experiment_id
+            self.priority = record.priority
+            self.workers = record.workers
+            self.num_frames = record.num_frames
+            self.submitted_wall = record.wall
+            if record.estimated_seconds is not None:
+                self.estimated_seconds = record.estimated_seconds
+        elif record.kind == ADMITTED:
+            if record.estimated_seconds is not None:
+                self.estimated_seconds = record.estimated_seconds
+        elif record.kind == LEASE:
+            self.leases += 1
+        self.state = _KIND_TO_STATE[record.kind]
+        self.updated_wall = record.wall
+        self.meta = dict(record.meta or {})
+
+    def to_jsonable(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["active"] = self.active
+        return data
+
+
+def replay_jobs(records: Iterator[JobRecord]) -> dict[str, Job]:
+    """Fold an event stream into job-id -> :class:`Job` (insertion
+    order preserved, which is submission order for a well-formed log)."""
+    jobs: dict[str, Job] = {}
+    for index, record in enumerate(records):
+        job = jobs.get(record.job_id)
+        if job is None:
+            job = jobs[record.job_id] = Job(job_id=record.job_id, seq=index)
+        job.apply(record)
+    return jobs
+
+
+class JobLog:
+    """The append-only job event log, shared across service processes.
+
+    One log file serves every writer: the serve loop appends
+    transitions while ``repro submit`` processes append ``submitted``
+    records.  Appends are single ``O_APPEND`` writes of one line, so
+    concurrent submitters interleave whole records; the writer repairs
+    a torn final line (its own crash signature) before appending, and
+    :meth:`poll_new` lets the serve loop consume records other
+    processes appended since its last read without re-parsing the
+    whole file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot create service directory {parent!r}: {exc}"
+            ) from exc
+        self._offset = 0
+
+    def read_all(self) -> list[JobRecord]:
+        """Every record currently on disk (advances the poll cursor).
+
+        A torn *final* line is left in place (another process may be
+        mid-append) and the cursor stops before it, so the fragment is
+        re-read — whole, eventually — by a later :meth:`poll_new`.
+        """
+        if not os.path.exists(self.path):
+            self._offset = 0
+            return []
+        try:
+            records, torn = load_jsonl(self.path, JobRecord.from_line)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot read job log {self.path!r}: {exc}"
+            ) from exc
+        self._offset = (
+            torn.offset if torn is not None else os.path.getsize(self.path)
+        )
+        return records
+
+    def poll_new(self) -> list[JobRecord]:
+        """Records appended (by anyone) since the last read.
+
+        Reads only complete lines past the cursor; an unterminated
+        final line is another writer mid-append and is left for the
+        next poll.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size <= self._offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read(size - self._offset)
+        lines = chunk.split(b"\n")
+        # An unterminated tail is another writer mid-append: leave it
+        # for the next poll (split leaves b"" there when the chunk
+        # ended cleanly on a newline).
+        tail = lines.pop()
+        records: list[JobRecord] = []
+        for raw in lines:
+            line = raw.decode("utf-8", "replace").strip()
+            if line:
+                records.append(JobRecord.from_line(line))
+        self._offset += len(chunk) - len(tail)
+        return records
+
+    def append(self, record: JobRecord) -> None:
+        """Durably append one record (tail repaired first)."""
+        try:
+            clean_tail(self.path)
+        except OSError:
+            pass
+        line = record.to_line()
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot append to job log {self.path!r}: {exc}"
+            ) from exc
+
+
+def job_dir(service_dir: str, job_id: str) -> str:
+    """The per-job run directory (the PR-7 run-dir contract applies
+    inside it: ledger, spans, telemetry, manifest)."""
+    return os.path.join(service_dir, JOBS_DIR, job_id)
+
+
+def job_heartbeat_path(service_dir: str, job_id: str) -> str:
+    """The job-tier heartbeat sidecar a dispatcher beats while running."""
+    return os.path.join(service_dir, SERVICE_HEARTBEAT_DIR, f"{job_id}.jsonl")
+
+
+def record_now(job_id: str, kind: str, **fields: Any) -> JobRecord:
+    """A :class:`JobRecord` stamped with the current wall time."""
+    return JobRecord(job_id=job_id, kind=kind, wall=time.time(), **fields)

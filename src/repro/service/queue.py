@@ -1,0 +1,223 @@
+"""Weighted fair-share scheduling and admission control.
+
+**Fair share.**  The queue is a per-tenant set of sub-queues ordered
+by priority (higher first) then submission order.  Dispatch order
+between tenants follows *weighted virtual time*: each tenant carries a
+``vtime`` that advances by ``estimated_cost / weight`` whenever one of
+its jobs dispatches, and :meth:`FairShareQueue.pop` always serves the
+backlogged tenant with the smallest vtime.  Over any busy interval
+each tenant therefore receives service proportional to its weight —
+a tenant with weight 2 gets two estimated-seconds for every one a
+weight-1 tenant gets — while an idle tenant rejoins at the current
+minimum vtime instead of cashing in banked idle credit (the classic
+start-time fair queueing rule, which is what keeps one silent tenant
+from monopolising the farm the moment it wakes up).
+
+**Admission.**  :class:`AdmissionController` renders a verdict before
+a job ever enters the queue, from cheap pre-execution evidence only
+(the cost estimate of :mod:`repro.service.estimate` and current queue
+state): per-tenant queue-depth bounds, per-tenant outstanding-cost
+budgets, and a global depth bound.  A rejection is a recorded verdict
+with a reason, not an exception — shedding load is normal service
+behaviour, not failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ServiceError
+from .jobs import Job
+
+#: Estimated seconds charged for a job that carries no estimate (the
+#: estimator failed): high enough that unestimatable work cannot slip
+#: under a budget for free.
+DEFAULT_JOB_COST = 60.0
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's scheduling weight and admission bounds."""
+
+    #: Fair-share weight (relative service rate while backlogged).
+    weight: float = 1.0
+    #: Maximum jobs this tenant may have queued or running at once.
+    max_active: int = 16
+    #: Maximum summed estimated seconds queued or running at once
+    #: (``None`` = unbounded).
+    cost_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ServiceError("tenant weight must be positive")
+        if self.max_active < 1:
+            raise ServiceError("tenant max_active must be >= 1")
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise ServiceError("tenant cost budget must be positive")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One admission decision (``admitted`` or a reasoned rejection)."""
+
+    admitted: bool
+    reason: str | None = None
+
+
+def job_cost(job: Job) -> float:
+    """The estimated-seconds currency one job charges against
+    budgets and vtime."""
+    if job.estimated_seconds is None or job.estimated_seconds <= 0:
+        return DEFAULT_JOB_COST
+    return job.estimated_seconds
+
+
+class FairShareQueue:
+    """Priority queue with per-tenant weighted fair-share ordering."""
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        default_policy: TenantPolicy | None = None,
+    ) -> None:
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy or TenantPolicy()
+        self._queued: dict[str, list[Job]] = {}
+        self._vtime: dict[str, float] = {}
+        self._push_seq = 0
+        self._order: dict[str, int] = {}
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    # -- state -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(jobs) for jobs in self._queued.values())
+
+    def depth(self, tenant: str | None = None) -> int:
+        if tenant is None:
+            return len(self)
+        return len(self._queued.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        """Tenants with at least one queued job, stable order."""
+        return [t for t, jobs in self._queued.items() if jobs]
+
+    def queued_jobs(self) -> list[Job]:
+        """Every queued job (no particular cross-tenant order)."""
+        return [job for jobs in self._queued.values() for job in jobs]
+
+    def queued_cost(self, tenant: str) -> float:
+        return sum(job_cost(j) for j in self._queued.get(tenant, ()))
+
+    # -- mutation ----------------------------------------------------
+
+    def push(self, job: Job) -> None:
+        """Enqueue one admitted job."""
+        backlog = self._queued.setdefault(job.tenant, [])
+        if job.tenant not in self._vtime:
+            # A newly-active tenant starts at the current minimum
+            # vtime: fair from now on, no banked idle credit.
+            self._vtime[job.tenant] = min(
+                self._vtime.values(), default=0.0
+            )
+        self._order[job.job_id] = self._push_seq
+        self._push_seq += 1
+        backlog.append(job)
+        # Priority first (higher wins), then arrival order.  A re-
+        # queued job (lost lease) keeps its original submission seq
+        # only for cross-job fairness; its *push* order is what FIFO
+        # ties break on, so freshly-requeued work goes behind equal-
+        # priority work that never failed.
+        backlog.sort(
+            key=lambda j: (-j.priority, self._order[j.job_id])
+        )
+
+    def remove(self, job_id: str) -> Job | None:
+        """Remove a queued job by id (cancellation)."""
+        for tenant, jobs in self._queued.items():
+            for index, job in enumerate(jobs):
+                if job.job_id == job_id:
+                    del jobs[index]
+                    self._order.pop(job_id, None)
+                    return job
+        return None
+
+    def pop(self) -> Job | None:
+        """The next job under weighted fair share, or ``None``.
+
+        Charges the dispatched job's estimated cost to its tenant's
+        virtual time; the caller owns what happens to the job next.
+        """
+        candidates = [
+            tenant for tenant, jobs in self._queued.items() if jobs
+        ]
+        if not candidates:
+            return None
+        tenant = min(
+            candidates,
+            key=lambda t: (self._vtime.get(t, 0.0), t),
+        )
+        job = self._queued[tenant].pop(0)
+        self._order.pop(job.job_id, None)
+        # Normalised virtual time: weight-2 tenants age half as fast
+        # per estimated second, so they are selected twice as often.
+        self._vtime[tenant] = (
+            self._vtime.get(tenant, 0.0)
+            + job_cost(job) / self.policy(tenant).weight
+        )
+        return job
+
+
+class AdmissionController:
+    """Pre-queue verdicts from queue state and cost estimates."""
+
+    def __init__(self, max_queue_depth: int = 256) -> None:
+        if max_queue_depth < 1:
+            raise ServiceError("max queue depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+
+    def admit(
+        self,
+        job: Job,
+        queue: FairShareQueue,
+        running: Iterable[Job] = (),
+    ) -> Verdict:
+        """Decide whether ``job`` may enter ``queue`` right now.
+
+        ``running`` is the set of jobs currently holding dispatch
+        leases — they still consume their tenant's depth and budget
+        (admitting against queued work alone would let a tenant
+        launder its backlog through the dispatcher).
+        """
+        active = [j for j in running if j.tenant == job.tenant]
+        policy = queue.policy(job.tenant)
+        total_depth = len(queue) + len(list(running))
+        if total_depth >= self.max_queue_depth:
+            return Verdict(
+                False,
+                f"service queue full ({total_depth} active jobs >= "
+                f"bound {self.max_queue_depth})",
+            )
+        tenant_active = queue.depth(job.tenant) + len(active)
+        if tenant_active >= policy.max_active:
+            return Verdict(
+                False,
+                f"tenant {job.tenant!r} at its active-job bound "
+                f"({tenant_active} >= {policy.max_active})",
+            )
+        if policy.cost_budget is not None:
+            outstanding = queue.queued_cost(job.tenant) + sum(
+                job_cost(j) for j in active
+            )
+            cost = job_cost(job)
+            if outstanding + cost > policy.cost_budget:
+                return Verdict(
+                    False,
+                    f"tenant {job.tenant!r} over cost budget: "
+                    f"{outstanding:.1f}s outstanding + {cost:.1f}s "
+                    f"estimated > {policy.cost_budget:.1f}s",
+                )
+        return Verdict(True)

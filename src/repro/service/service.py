@@ -1,0 +1,445 @@
+"""The encode-farm service: a long-running front end for experiments.
+
+:class:`EncodeFarmService` wraps the experiment registry and the
+supervised worker pool behind a job API (submit / status / result /
+cancel) with weighted fair-share scheduling and admission control.
+One design rule makes it crash-safe: **the job log is the state, the
+object is a cache**.  Every transition is appended to ``jobs.jsonl``
+first and then folded back into memory through the same code path
+that folds records appended by *other* processes (``repro submit``
+sidecars, a second service instance).  A service that dies at any
+point can therefore be reconstructed by :meth:`recover` — replay the
+log, requeue what was queued, and mark leases whose dispatcher died
+as ``lost`` so the fair-share queue hands them out again.  Because a
+dispatched job always runs ``resume=True`` against its own run
+directory, a re-dispatched job replays its finished cells from the
+cell ledger instead of recomputing them: the PR-6 lease/heartbeat
+contract, lifted one tier up.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ReproError, ServiceError, SweepInterruptedError
+from ..obs.metrics import MetricsRegistry
+from ..obs.openmetrics import write_openmetrics
+from ..parallel.supervise import drain_guard, drain_requested, last_beat
+from .dispatch import dispatch_job, load_job_result
+from .estimate import estimate_experiment
+from .jobs import (
+    ADMITTED,
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    JOB_LOG_FILE,
+    LEASE,
+    LOST,
+    PENDING,
+    QUEUED,
+    REJECTED,
+    SERVICE_METRICS_FILE,
+    SUBMITTED,
+    Job,
+    JobLog,
+    job_heartbeat_path,
+    new_job_id,
+    record_now,
+)
+from .queue import AdmissionController, FairShareQueue, TenantPolicy
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning for one service instance (not persisted; policy lives
+    with the operator, state lives in the log)."""
+
+    #: Per-tenant scheduling/admission policies; unknown tenants get
+    #: ``default_policy``.
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+    default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    #: Global bound on queued + running jobs (admission rejects past it).
+    max_queue_depth: int = 256
+    #: Default worker count for jobs that did not pin one.
+    workers: int | None = None
+    cache_dir: str | None = None
+    heartbeat_interval: float = 0.5
+    #: Missed beats before a foreign dispatcher's lease is declared
+    #: lost (same semantics as cell supervision).
+    heartbeat_misses: int = 20
+
+    @property
+    def stall_deadline(self) -> float:
+        return self.heartbeat_interval * self.heartbeat_misses
+
+
+class EncodeFarmService:
+    """One service instance bound to a service directory.
+
+    Thread-unsafe by design (one serve loop per instance); *process*
+    concurrency is handled through the shared job log: concurrent
+    submitters append, and every instance folds everyone's records in
+    log order, so all instances converge on the same job states.
+    """
+
+    def __init__(
+        self,
+        service_dir: str,
+        config: ServiceConfig | None = None,
+        *,
+        recover: bool = True,
+    ) -> None:
+        self.service_dir = os.path.abspath(service_dir)
+        self.config = config or ServiceConfig()
+        self.log = JobLog(os.path.join(self.service_dir, JOB_LOG_FILE))
+        self.queue = FairShareQueue(
+            self.config.tenants, self.config.default_policy
+        )
+        self.admission = AdmissionController(self.config.max_queue_depth)
+        self.metrics = MetricsRegistry()
+        #: job id -> :class:`Job`, folded from the log (insertion order
+        #: is log order).
+        self.jobs: dict[str, Job] = {}
+        self._running: dict[str, Job] = {}
+        if recover:
+            self.recover()
+
+    # -- state folding (the only writers of self.jobs) ---------------
+
+    def _apply(self, record) -> None:
+        """Fold one log record into memory: job state, queue
+        membership, running set, counters — all derived from the log,
+        so replay after a crash reconstructs every one of them."""
+        job = self.jobs.get(record.job_id)
+        if job is None:
+            job = self.jobs[record.job_id] = Job(
+                job_id=record.job_id, seq=len(self.jobs)
+            )
+        job.apply(record)
+        self.metrics.counter(f"service.jobs.{record.kind}").inc()
+        if record.kind in (ADMITTED, LOST):
+            self._running.pop(job.job_id, None)
+            self.queue.push(job)
+        elif record.kind == LEASE:
+            self.queue.remove(job.job_id)
+            self._running[job.job_id] = job
+        elif record.kind in (REJECTED, COMPLETED, FAILED, CANCELLED):
+            self.queue.remove(job.job_id)
+            self._running.pop(job.job_id, None)
+
+    def _drain_log(self) -> None:
+        """Fold records appended since the last fold — ours *and*
+        other processes' (``repro submit`` sidecars)."""
+        for record in self.log.poll_new():
+            self._apply(record)
+
+    def _transition(self, job_id: str, kind: str, **fields: Any) -> None:
+        """Append one transition, then fold it back through the same
+        path foreign records take (append-then-replay keeps memory a
+        pure function of the log)."""
+        self.log.append(record_now(job_id, kind, **fields))
+        self._drain_log()
+
+    # -- recovery ----------------------------------------------------
+
+    def recover(self) -> None:
+        """Rebuild state from the log; reap dead dispatchers' leases.
+
+        Safe to call on an empty directory (fresh service) and after a
+        SIGKILL mid-anything: queued jobs requeue, a lease whose
+        dispatcher pid is gone (or silent past the stall deadline) is
+        recorded ``lost`` and requeued, and pending jobs get their
+        admission verdict.
+        """
+        for record in self.log.read_all():
+            self._apply(record)
+        self._reap_lost()
+        self._admit_pending()
+        self._write_metrics()
+
+    def _lease_lost(self, job: Job, now_wall: float) -> str | None:
+        """Why ``job``'s lease is lost, or ``None`` if its dispatcher
+        is demonstrably alive (live pid *and* fresh heartbeat)."""
+        pid = job.meta.get("pid")
+        if pid == os.getpid():
+            return None  # our own (synchronous) dispatch in flight
+        if pid is not None:
+            try:
+                os.kill(int(pid), 0)
+            except (ProcessLookupError, ValueError):
+                return f"dispatcher pid {pid} is dead"
+            except OSError:
+                pass  # EPERM etc: the pid exists
+        beat = last_beat(job_heartbeat_path(self.service_dir, job.job_id))
+        reference = beat["wall"] if beat is not None else job.updated_wall
+        silence = now_wall - reference
+        if silence > self.config.stall_deadline:
+            return (
+                f"dispatcher silent for {silence:.1f}s "
+                f"(deadline {self.config.stall_deadline:.1f}s)"
+            )
+        return None
+
+    def _reap_lost(self) -> None:
+        now = time.time()
+        for job in list(self._running.values()):
+            reason = self._lease_lost(job, now)
+            if reason is not None:
+                self._transition(job.job_id, LOST, meta={"reason": reason})
+
+    # -- admission ---------------------------------------------------
+
+    def _admit_pending(self) -> None:
+        """Render verdicts for every job still awaiting admission, in
+        submission order (earlier submissions consume budget first)."""
+        pending = sorted(
+            (j for j in self.jobs.values() if j.state == PENDING),
+            key=lambda j: j.seq,
+        )
+        for job in pending:
+            if job.estimated_seconds is None:
+                # A detached submitter that could not estimate; the
+                # admission tier must, or reject what it cannot cost.
+                try:
+                    job.estimated_seconds = estimate_experiment(
+                        job.experiment_id, job.num_frames
+                    ).seconds
+                except ServiceError as exc:
+                    self._transition(
+                        job.job_id, REJECTED, meta={"reason": str(exc)}
+                    )
+                    continue
+            verdict = self.admission.admit(
+                job, self.queue, self._running.values()
+            )
+            if verdict.admitted:
+                self._transition(
+                    job.job_id,
+                    ADMITTED,
+                    estimated_seconds=job.estimated_seconds,
+                )
+            else:
+                self._transition(
+                    job.job_id, REJECTED, meta={"reason": verdict.reason}
+                )
+
+    # -- the job API -------------------------------------------------
+
+    def submit(
+        self,
+        experiment_id: str,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        workers: int | None = None,
+        num_frames: int | None = None,
+    ) -> Job:
+        """Submit one job and render its admission verdict inline.
+
+        Raises :class:`~repro.errors.ServiceError` for an unknown
+        experiment id; an admission *rejection* is returned as a job
+        in state ``rejected``, not raised.
+        """
+        if not tenant:
+            raise ServiceError("tenant must be a non-empty string")
+        estimate = estimate_experiment(experiment_id, num_frames)
+        job_id = new_job_id()
+        self._transition(
+            job_id,
+            SUBMITTED,
+            tenant=tenant,
+            experiment_id=experiment_id,
+            priority=int(priority),
+            workers=workers,
+            num_frames=num_frames,
+            estimated_seconds=estimate.seconds,
+            meta={"estimate": estimate.to_jsonable()},
+        )
+        self._admit_pending()
+        self._write_metrics()
+        return self.jobs[job_id]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job that has not started running."""
+        self._drain_log()
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if job.state not in (PENDING, QUEUED):
+            raise ServiceError(
+                f"job {job_id} is {job.state}; only pending or queued "
+                f"jobs can be cancelled"
+            )
+        self._transition(job_id, CANCELLED, meta={"reason": "cancelled"})
+        self._write_metrics()
+        return job
+
+    def job(self, job_id: str) -> Job:
+        self._drain_log()
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def list_jobs(self) -> list[Job]:
+        self._drain_log()
+        return list(self.jobs.values())
+
+    def result(self, job_id: str) -> dict[str, Any] | None:
+        """The completed job's result document, else ``None``."""
+        return load_job_result(self.service_dir, self.job(job_id).job_id)
+
+    # -- dispatch ----------------------------------------------------
+
+    def poll_once(self) -> Job | None:
+        """One scheduler turn: ingest, reap, admit, dispatch at most
+        one job to completion.  Returns the job it ran (terminal state
+        on it says how that went) or ``None`` if the queue was idle.
+        """
+        self._drain_log()
+        self._reap_lost()
+        self._admit_pending()
+        job = self.queue.pop()
+        if job is None:
+            self._write_metrics()
+            return None
+        self._transition(
+            job.job_id,
+            LEASE,
+            meta={
+                "pid": os.getpid(),
+                "workers": (
+                    job.workers
+                    if job.workers is not None
+                    else self.config.workers
+                ),
+            },
+        )
+        try:
+            completion = dispatch_job(
+                self.service_dir,
+                job,
+                workers=self.config.workers,
+                cache_dir=self.config.cache_dir,
+                heartbeat_interval=self.config.heartbeat_interval,
+            )
+        except SweepInterruptedError as exc:
+            # Drained mid-job: the job is not failed, it is resumable.
+            # ``lost`` puts it back in the queue for the next serve.
+            self._transition(
+                job.job_id,
+                LOST,
+                meta={"reason": f"drained on {exc.signal_name}"},
+            )
+            self._write_metrics()
+            raise
+        except Exception as exc:  # noqa: BLE001 - a job bug must not kill the farm
+            self._transition(
+                job.job_id,
+                FAILED,
+                meta={"reason": f"{type(exc).__name__}: {exc}"},
+            )
+        else:
+            self._transition(job.job_id, COMPLETED, meta=completion)
+        self._write_metrics()
+        return job
+
+    def serve(
+        self,
+        *,
+        max_jobs: int | None = None,
+        idle_exit: float | None = None,
+        poll_interval: float = 0.25,
+    ) -> int:
+        """Run the scheduler loop; returns jobs dispatched.
+
+        Exits when ``max_jobs`` jobs have been dispatched, when the
+        queue has been idle for ``idle_exit`` seconds, or — via
+        :class:`~repro.errors.SweepInterruptedError` — on the first
+        SIGINT/SIGTERM, leaving every job in a resumable state.
+        """
+        dispatched = 0
+        idle_since = time.monotonic()
+        with drain_guard():
+            while True:
+                signal_name = drain_requested()
+                if signal_name:
+                    raise SweepInterruptedError(
+                        signal_name, dispatched, dispatched + len(self.queue)
+                    )
+                job = self.poll_once()
+                if job is not None:
+                    dispatched += 1
+                    idle_since = time.monotonic()
+                    if max_jobs is not None and dispatched >= max_jobs:
+                        return dispatched
+                    continue
+                if (
+                    idle_exit is not None
+                    and time.monotonic() - idle_since >= idle_exit
+                ):
+                    return dispatched
+                time.sleep(poll_interval)
+
+    # -- telemetry ---------------------------------------------------
+
+    def _write_metrics(self) -> None:
+        """Refresh gauges and publish the OpenMetrics snapshot.
+
+        Counters are folded from the log in :meth:`_apply`, so after a
+        restart the exposition reflects lifetime totals, not this
+        process's uptime.  Publication failure never fails the
+        service (observability is advisory here as everywhere else).
+        """
+        self.metrics.gauge("service.queue.depth").set(float(len(self.queue)))
+        self.metrics.gauge("service.jobs.running").set(
+            float(len(self._running))
+        )
+        path = os.path.join(self.service_dir, SERVICE_METRICS_FILE)
+        try:
+            write_openmetrics(path, self.metrics.snapshot())
+        except (ReproError, OSError):
+            pass
+
+
+def submit_job(
+    service_dir: str,
+    experiment_id: str,
+    *,
+    tenant: str = "default",
+    priority: int = 0,
+    workers: int | None = None,
+    num_frames: int | None = None,
+) -> str:
+    """Append one ``submitted`` record from a sidecar process.
+
+    This is what ``repro submit`` does when a separate serve process
+    owns the directory: append the spec and return the job id; the
+    serving instance's next poll ingests the record and renders the
+    admission verdict.  (:meth:`EncodeFarmService.submit` is the
+    in-process path that also admits inline.)
+    """
+    if not tenant:
+        raise ServiceError("tenant must be a non-empty string")
+    estimate = estimate_experiment(experiment_id, num_frames)
+    log = JobLog(
+        os.path.join(os.path.abspath(service_dir), JOB_LOG_FILE)
+    )
+    job_id = new_job_id()
+    log.append(
+        record_now(
+            job_id,
+            SUBMITTED,
+            tenant=tenant,
+            experiment_id=experiment_id,
+            priority=int(priority),
+            workers=workers,
+            num_frames=num_frames,
+            estimated_seconds=estimate.seconds,
+            meta={"estimate": estimate.to_jsonable()},
+        )
+    )
+    return job_id

@@ -1,0 +1,156 @@
+"""Read-only views of a service directory.
+
+``repro jobs`` and ``repro status`` (pointed at a service directory)
+must work without constructing a service instance — and without the
+heavyweight experiment imports a dispatcher needs — so this module
+replays ``jobs.jsonl`` directly into a JSON-able status document plus
+a text rendering.  Like the run-status reader, it is strictly
+read-only and tolerant of a live log (a torn final line is a write in
+progress, not corruption).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from ..errors import ServiceError
+from .jobs import (
+    ACTIVE_STATES,
+    JOB_LOG_FILE,
+    PENDING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobLog,
+    replay_jobs,
+)
+
+#: Rendering order for state summaries.
+_STATE_ORDER = (PENDING, QUEUED, RUNNING) + TERMINAL_STATES
+
+
+def is_service_dir(path: str) -> bool:
+    """Whether ``path`` is an encode-farm service directory (it has a
+    job log — the one artifact every service directory has)."""
+    return os.path.isfile(os.path.join(path, JOB_LOG_FILE))
+
+
+def load_service_status(service_dir: str) -> dict[str, Any]:
+    """Replay a service directory's job log into a status document.
+
+    Raises :class:`~repro.errors.ServiceError` when the directory has
+    no job log (it is not a service directory).
+    """
+    service_dir = os.path.abspath(service_dir)
+    if not is_service_dir(service_dir):
+        raise ServiceError(
+            f"{service_dir!r} is not a service directory "
+            f"(no {JOB_LOG_FILE})"
+        )
+    log = JobLog(os.path.join(service_dir, JOB_LOG_FILE))
+    jobs = replay_jobs(iter(log.read_all()))
+    states: dict[str, int] = {}
+    tenants: dict[str, dict[str, Any]] = {}
+    for job in jobs.values():
+        states[job.state] = states.get(job.state, 0) + 1
+        tenant = tenants.setdefault(
+            job.tenant, {"jobs": 0, "queued": 0, "estimated_seconds": 0.0}
+        )
+        tenant["jobs"] += 1
+        if job.state == QUEUED:
+            tenant["queued"] += 1
+            if job.estimated_seconds:
+                tenant["estimated_seconds"] += job.estimated_seconds
+    return {
+        "service_dir": service_dir,
+        "generated_wall": time.time(),
+        "jobs": [job.to_jsonable() for job in jobs.values()],
+        "states": states,
+        "queue_depth": states.get(QUEUED, 0),
+        "running": states.get(RUNNING, 0),
+        "tenants": {
+            name: dict(info) for name, info in sorted(tenants.items())
+        },
+    }
+
+
+def _age(now: float, wall: float) -> str:
+    if not wall:
+        return "-"
+    seconds = max(0.0, now - wall)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def format_service_status(status: dict[str, Any]) -> str:
+    """Human-oriented rendering of :func:`load_service_status`."""
+    lines: list[str] = []
+    jobs = status.get("jobs", [])
+    states = status.get("states", {})
+    summary = ", ".join(
+        f"{states[state]} {state}"
+        for state in _STATE_ORDER
+        if states.get(state)
+    )
+    lines.append(
+        f"service {status.get('service_dir', '?')}: "
+        f"{len(jobs)} job(s){' — ' + summary if summary else ''}"
+    )
+    for name, info in status.get("tenants", {}).items():
+        lines.append(
+            f"  tenant {name}: {info['jobs']} job(s), "
+            f"{info['queued']} queued"
+            + (
+                f" (~{info['estimated_seconds']:.0f}s estimated)"
+                if info.get("estimated_seconds")
+                else ""
+            )
+        )
+    if jobs:
+        lines.append(
+            f"  {'JOB':<14} {'TENANT':<10} {'EXPERIMENT':<12} "
+            f"{'PRI':>3} {'STATE':<10} {'AGE':>5}  DETAIL"
+        )
+    now = status.get("generated_wall") or time.time()
+    for job in jobs:
+        meta = job.get("meta") or {}
+        if job.get("state") in ACTIVE_STATES:
+            detail = meta.get("reason") or ""
+            if job.get("state") == RUNNING and meta.get("pid"):
+                detail = f"pid {meta['pid']}"
+        else:
+            detail = meta.get("reason") or meta.get("result_path") or ""
+        lines.append(
+            f"  {job.get('job_id', '?'):<14} "
+            f"{job.get('tenant', '?'):<10} "
+            f"{job.get('experiment_id', '?'):<12} "
+            f"{job.get('priority', 0):>3} "
+            f"{job.get('state', '?'):<10} "
+            f"{_age(now, job.get('submitted_wall', 0.0)):>5}  "
+            f"{detail}"
+        )
+    return "\n".join(lines)
+
+
+def active_jobs(status: dict[str, Any]) -> list[dict[str, Any]]:
+    """The status document's still-active jobs (CLI ``--active``)."""
+    return [
+        job
+        for job in status.get("jobs", [])
+        if job.get("state") in ACTIVE_STATES
+    ]
+
+
+__all__ = [
+    "Job",
+    "active_jobs",
+    "format_service_status",
+    "is_service_dir",
+    "load_service_status",
+]

@@ -153,7 +153,7 @@ def write_report(path: str, report: ValidationReport) -> None:
 def validate(
     experiment_ids: Sequence[str] | None = None,
     *,
-    workers: int | None = None,
+    workers: int | str | None = None,
     cache_dir: str | None = None,
     cache_salt: str = "",
     seed: int = DEFAULT_SEED,

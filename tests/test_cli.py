@@ -94,3 +94,61 @@ class TestValidate:
         assert [c["claim_id"] for c in claims] == ["tage-beats-gshare"]
         assert claims[0]["status"] == "pass"
         assert payload["provenance"]["telemetry"]["claims"]["pass"] == 1
+
+
+class TestWorkersArgument:
+    """--workers: 0 is an error at the CLI boundary, 'auto' is the one
+    spelling of one-worker-per-core (the old CLI documented 0 as auto
+    while the engine treated it as an error — three layers, three
+    semantics)."""
+
+    @pytest.mark.parametrize("value", ["0", "-2", "many"])
+    def test_invalid_workers_rejected_with_usage_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "table1", "--workers", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "auto" in err
+
+    def test_auto_accepted(self, capsys):
+        assert main(["experiment", "table1", "--workers", "auto"]) == 0
+
+
+class TestServiceCommands:
+    def test_submit_serve_jobs_round_trip(self, capsys, tmp_path):
+        import json
+        import os
+
+        service_dir = str(tmp_path / "farm")
+        assert main([
+            "submit", service_dir, "table1", "--tenant", "ci",
+            "--priority", "2", "--json",
+        ]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+
+        assert main([
+            "serve", service_dir, "--max-jobs", "1",
+            "--tenant", "ci=2,8",
+        ]) == 0
+        assert "served 1 job(s)" in capsys.readouterr().out
+
+        assert main(["jobs", service_dir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (job,) = doc["jobs"]
+        assert job["job_id"] == job_id
+        assert job["state"] == "completed"
+        assert os.path.isfile(
+            os.path.join(service_dir, "jobs", job_id, "result.json")
+        )
+
+        # `repro status` pointed at a service dir renders the board.
+        assert main(["status", service_dir]) == 0
+        assert job_id in capsys.readouterr().out
+
+    def test_jobs_on_non_service_dir_fails(self, tmp_path, capsys):
+        assert main(["jobs", str(tmp_path)]) == 2
+        assert "not a service directory" in capsys.readouterr().err
+
+    def test_submit_unknown_experiment_fails(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["submit", str(tmp_path / "farm"), "fig99"])

@@ -82,16 +82,35 @@ class TestWorkerResolution:
     def test_explicit_wins(self):
         assert resolve_workers(3) == 3
 
-    def test_zero_means_all_cores(self):
-        assert resolve_workers(0) == (os.cpu_count() or 1)
+    def test_auto_means_all_cores(self):
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        assert resolve_workers(" AUTO ") == (os.cpu_count() or 1)
+
+    def test_zero_rejected_everywhere(self):
+        # 0 used to mean "one per core" here, "serial" in older docs
+        # and "invalid" nowhere — it is now an explicit error at every
+        # layer, with 'auto' as the one spelling of one-per-core.
+        with pytest.raises(ExperimentError, match="'auto'"):
+            resolve_workers(0)
+        with pytest.raises(ExperimentError, match="'auto'"):
+            ParallelConfig(workers=0)
 
     def test_negative_rejected(self):
-        with pytest.raises(ExperimentError, match=">= 0"):
+        with pytest.raises(ExperimentError, match=">= 1"):
             resolve_workers(-1)
 
     def test_env_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers() == 5
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_env_zero_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ExperimentError, match=">= 1"):
+            resolve_workers()
 
     def test_bad_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")

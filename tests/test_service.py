@@ -1,0 +1,468 @@
+"""Encode-farm service suite: jobs, fair share, admission, recovery.
+
+The service layer's acceptance criteria, exercised with the same
+stubbed characterization pass the chaos suite uses:
+
+- a job submitted through the service produces a result
+  element-for-element identical to calling ``run_experiment``
+  directly (the service adds scheduling, never semantics);
+- two tenants with 2:1 weights receive dispatches 2:1 under backlog,
+  and an idle tenant rejoins at the current minimum virtual time
+  instead of cashing banked credit;
+- admission rejects over-budget and over-depth work as recorded
+  verdicts, never exceptions;
+- a dispatcher SIGKILLed mid-job loses its lease on recovery and the
+  re-dispatched job *resumes* from the job run directory's cell
+  ledger (the PR-6 lease contract, one tier up);
+- the job log shares the resilience ledger's durability story: torn
+  final lines are tolerated, mid-file corruption raises, and
+  concurrent submitter processes interleave whole records.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+os.environ.setdefault("REPRO_FAST", "1")
+
+import repro.core.session as session_mod  # noqa: E402
+from repro.errors import (  # noqa: E402
+    CheckpointError,
+    ServiceError,
+)
+from repro.experiments import common, run_experiment  # noqa: E402
+from repro.resilience.ledger import RunLedger  # noqa: E402
+from repro.service import (  # noqa: E402
+    AdmissionController,
+    EncodeFarmService,
+    FairShareQueue,
+    Job,
+    JobLog,
+    JobRecord,
+    ServiceConfig,
+    TenantPolicy,
+    estimate_cell,
+    estimate_experiment,
+    format_service_status,
+    is_service_dir,
+    job_dir,
+    load_service_status,
+    replay_jobs,
+    submit_job,
+)
+from repro.service.jobs import (  # noqa: E402
+    ADMITTED,
+    COMPLETED,
+    LEASE,
+    LOST,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    SUBMITTED,
+    record_now,
+)
+from tests.test_resilience_integration import synthetic_report  # noqa: E402
+
+GRID_CELLS = 6  # 2 videos x 3 CRFs (tiny_grids below)
+
+
+@pytest.fixture()
+def stub_characterize(monkeypatch):
+    """Replace the encode+measure pass; returns the call log."""
+    calls = []
+
+    def fake(codec, video, machine=None, crf=None, preset=None,
+             num_frames=None):
+        video = getattr(video, "name", video)
+        calls.append((codec, video, crf, preset))
+        return synthetic_report(codec, video, crf=crf, preset=preset)
+
+    monkeypatch.setattr(session_mod, "characterize", fake)
+    return calls
+
+
+@pytest.fixture(autouse=True)
+def tiny_grids(monkeypatch):
+    from repro.experiments import fig04_crf_sweep
+
+    for module in (common, fig04_crf_sweep):
+        monkeypatch.setattr(module, "sweep_videos",
+                            lambda: ("desktop", "game1"))
+        monkeypatch.setattr(module, "sweep_crfs", lambda: (10, 35, 60))
+
+
+def _job(job_id, tenant="t", priority=0, cost=10.0, seq=0):
+    return Job(
+        job_id=job_id, tenant=tenant, experiment_id="fig04",
+        priority=priority, estimated_seconds=cost, state=QUEUED, seq=seq,
+    )
+
+
+class TestJobLog:
+    def test_record_roundtrip(self):
+        record = record_now(
+            "j1", SUBMITTED, tenant="ci", experiment_id="fig04",
+            priority=2, estimated_seconds=12.5, meta={"cells": 6},
+        )
+        back = JobRecord.from_line(record.to_line())
+        assert back.job_id == "j1"
+        assert back.tenant == "ci"
+        assert back.priority == 2
+        assert back.meta == {"cells": 6}
+
+    def test_corrupt_and_unknown_records_raise(self):
+        with pytest.raises(CheckpointError):
+            JobRecord.from_line("{not json")
+        with pytest.raises(CheckpointError):
+            JobRecord.from_line('{"job_id": "x"}')  # no kind
+        with pytest.raises(CheckpointError, match="kind"):
+            JobRecord.from_line(
+                '{"job_id": "x", "kind": "exploded", "schema_version": 1}'
+            )
+        with pytest.raises(CheckpointError, match="schema"):
+            JobRecord.from_line(
+                '{"job_id": "x", "kind": "submitted", "schema_version": 99}'
+            )
+
+    def test_replay_folds_lifecycle(self):
+        records = [
+            record_now("a", SUBMITTED, tenant="ci", experiment_id="fig04"),
+            record_now("a", ADMITTED, estimated_seconds=5.0),
+            record_now("a", LEASE, meta={"pid": 1}),
+            record_now("a", LOST, meta={"reason": "died"}),
+            record_now("a", LEASE, meta={"pid": 2}),
+            record_now("a", COMPLETED, meta={"cells": 6}),
+        ]
+        job = replay_jobs(iter(records))["a"]
+        assert job.state == COMPLETED
+        assert job.leases == 2
+        assert job.estimated_seconds == 5.0
+        assert job.meta == {"cells": 6}
+        assert not job.active
+
+    def test_poll_new_sees_only_complete_lines(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        log = JobLog(path)
+        log.append(record_now("a", SUBMITTED, tenant="x",
+                              experiment_id="fig04"))
+        assert [r.job_id for r in log.poll_new()] == ["a"]
+        assert log.poll_new() == []
+        # A foreign writer appends one whole record and half of another.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(record_now("b", SUBMITTED, tenant="y",
+                                    experiment_id="fig04").to_line() + "\n")
+            handle.write('{"job_id": "c", "ki')
+        assert [r.job_id for r in log.poll_new()] == ["b"]
+        # The torn tail stays pending until its writer finishes it.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('nd": "submitted", "schema_version": 1}\n')
+        assert [r.job_id for r in log.poll_new()] == ["c"]
+
+    def test_append_repairs_its_own_torn_tail(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        log = JobLog(path)
+        log.append(record_now("a", SUBMITTED, tenant="x",
+                              experiment_id="fig04"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": "torn')
+        log.append(record_now("b", SUBMITTED, tenant="x",
+                              experiment_id="fig04"))
+        records = JobLog(path).read_all()
+        assert [r.job_id for r in records] == ["a", "b"]
+
+
+class TestEstimates:
+    def test_monotone_in_the_paper_axes(self):
+        cheap = estimate_cell("x264", "game1", preset=8)
+        heavy_codec = estimate_cell("libaom", "game1", preset=8)
+        slow_preset = estimate_cell("x264", "game1", preset=2)
+        more_frames = estimate_cell("x264", "game1", preset=8,
+                                    num_frames=64)
+        assert heavy_codec.seconds > cheap.seconds
+        assert slow_preset.seconds > cheap.seconds
+        assert more_frames.seconds > cheap.seconds
+
+    def test_unknown_clip_never_raises(self):
+        assert estimate_cell("x264", "no-such-clip", preset=6).seconds > 0
+
+    def test_experiment_estimate_counts_the_grid(self):
+        estimate = estimate_experiment("fig04")
+        assert estimate.cells == GRID_CELLS
+        assert estimate.seconds > 0
+        assert estimate.features["codecs"] == ["svt-av1"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            estimate_experiment("fig99")
+
+
+class TestFairShareQueue:
+    def test_weighted_interleave_is_2_to_1(self):
+        queue = FairShareQueue({
+            "alice": TenantPolicy(weight=2.0),
+            "bob": TenantPolicy(weight=1.0),
+        })
+        for i in range(4):
+            queue.push(_job(f"a{i}", tenant="alice"))
+            queue.push(_job(f"b{i}", tenant="bob"))
+        order = [queue.pop().tenant for _ in range(6)]
+        # Weight-2 alice ages half as fast per dispatched second, so a
+        # busy interval serves her 2:1 — deterministically, given equal
+        # costs and the lexicographic tie-break.
+        assert order == ["alice", "bob", "alice", "alice", "bob", "alice"]
+
+    def test_priority_orders_within_a_tenant(self):
+        queue = FairShareQueue()
+        queue.push(_job("low", priority=0))
+        queue.push(_job("high", priority=5))
+        assert queue.pop().job_id == "high"
+        assert queue.pop().job_id == "low"
+
+    def test_idle_tenant_gets_no_banked_credit(self):
+        queue = FairShareQueue()
+        for i in range(3):
+            queue.push(_job(f"a{i}", tenant="alice"))
+            assert queue.pop() is not None
+        queue.push(_job("b0", tenant="bob"))
+        # Bob joins at alice's accumulated vtime, not at zero.
+        assert queue._vtime["bob"] == pytest.approx(queue._vtime["alice"])
+
+    def test_remove_cancels_a_queued_job(self):
+        queue = FairShareQueue()
+        queue.push(_job("a"))
+        queue.push(_job("b"))
+        assert queue.remove("a").job_id == "a"
+        assert queue.remove("a") is None
+        assert [queue.pop().job_id, queue.pop()] == ["b", None]
+
+
+class TestAdmission:
+    def test_global_depth_bound(self):
+        queue = FairShareQueue()
+        queue.push(_job("a"))
+        controller = AdmissionController(max_queue_depth=1)
+        verdict = controller.admit(_job("b"), queue)
+        assert not verdict.admitted
+        assert "queue full" in verdict.reason
+
+    def test_tenant_active_bound_counts_running(self):
+        queue = FairShareQueue({"t": TenantPolicy(max_active=2)})
+        queue.push(_job("q1"))
+        controller = AdmissionController()
+        running = [_job("r1")]
+        verdict = controller.admit(_job("new"), queue, running)
+        assert not verdict.admitted
+        assert "active-job bound" in verdict.reason
+
+    def test_cost_budget_rejects_expensive_work(self):
+        queue = FairShareQueue({"t": TenantPolicy(cost_budget=25.0)})
+        queue.push(_job("q1", cost=20.0))
+        controller = AdmissionController()
+        verdict = controller.admit(_job("new", cost=10.0), queue)
+        assert not verdict.admitted
+        assert "over cost budget" in verdict.reason
+        assert controller.admit(_job("ok", cost=4.0), queue).admitted
+
+
+class TestServiceLifecycle:
+    def test_submitted_job_matches_direct_run(
+        self, stub_characterize, tmp_path
+    ):
+        direct = json.loads(run_experiment("fig04", workers=1).to_json())
+        service = EncodeFarmService(str(tmp_path / "svc"))
+        job = service.submit("fig04", tenant="ci")
+        assert job.state == QUEUED
+        done = service.poll_once()
+        assert done.job_id == job.job_id
+        assert done.state == COMPLETED
+        doc = service.result(job.job_id)
+        # Element-for-element: the service layer adds scheduling, not
+        # semantics.
+        assert doc["series"] == direct["series"]
+        assert doc["tables"] == direct["tables"]
+        assert done.meta["cells"] == GRID_CELLS
+        ledger = RunLedger(
+            os.path.join(job_dir(service.service_dir, job.job_id),
+                         "ledger.jsonl")
+        )
+        assert len(ledger) == GRID_CELLS
+
+    def test_unknown_experiment_rejected_at_submit(self, tmp_path):
+        service = EncodeFarmService(str(tmp_path / "svc"))
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            service.submit("fig99")
+
+    def test_admission_rejection_is_recorded_not_raised(self, tmp_path):
+        config = ServiceConfig(
+            tenants={"cheap": TenantPolicy(cost_budget=0.001)}
+        )
+        service = EncodeFarmService(str(tmp_path / "svc"), config)
+        job = service.submit("fig04", tenant="cheap")
+        assert job.state == REJECTED
+        assert "over cost budget" in job.meta["reason"]
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.jobs.rejected"] == 1
+        assert counters["service.jobs.submitted"] == 1
+
+    def test_fair_share_dispatch_order(self, stub_characterize, tmp_path):
+        config = ServiceConfig(tenants={
+            "alice": TenantPolicy(weight=2.0),
+            "bob": TenantPolicy(weight=1.0),
+        })
+        service = EncodeFarmService(str(tmp_path / "svc"), config)
+        for i in range(2):
+            service.submit("fig04", tenant="alice")
+            service.submit("fig04", tenant="bob")
+        order = [service.poll_once().tenant for _ in range(3)]
+        assert order == ["alice", "bob", "alice"]
+
+    def test_sidecar_submission_and_cancel(self, tmp_path):
+        service_dir = str(tmp_path / "svc")
+        job_id = submit_job(service_dir, "fig04", tenant="ci", priority=3)
+        service = EncodeFarmService(service_dir)
+        job = service.job(job_id)
+        assert job.state == QUEUED
+        assert job.priority == 3
+        assert service.cancel(job_id).job_id == job_id
+        assert service.job(job_id).state == "cancelled"
+        with pytest.raises(ServiceError, match="cancellable|cancelled"):
+            service.cancel(job_id)
+
+    def test_status_document_and_rendering(
+        self, stub_characterize, tmp_path
+    ):
+        service_dir = str(tmp_path / "svc")
+        service = EncodeFarmService(service_dir)
+        job = service.submit("fig04", tenant="ci")
+        service.poll_once()
+        assert is_service_dir(service_dir)
+        status = load_service_status(service_dir)
+        assert status["states"] == {COMPLETED: 1}
+        assert status["queue_depth"] == 0
+        text = format_service_status(status)
+        assert job.job_id in text
+        assert "tenant ci" in text
+        metrics = open(
+            os.path.join(service_dir, "metrics.prom"), encoding="utf-8"
+        ).read()
+        assert "repro_service_jobs_completed_total 1" in metrics
+        assert "repro_service_queue_depth 0" in metrics
+
+    def test_not_a_service_dir(self, tmp_path):
+        with pytest.raises(ServiceError, match="not a service directory"):
+            load_service_status(str(tmp_path))
+
+
+class TestDispatcherCrashRecovery:
+    """SIGKILL the dispatcher mid-job; the job must lease-resume."""
+
+    def _submit_slow_job(self, service_dir, monkeypatch, delay=0.15):
+        calls = []
+
+        def slow(codec, video, machine=None, crf=None, preset=None,
+                 num_frames=None):
+            video = getattr(video, "name", video)
+            calls.append(video)
+            time.sleep(delay)
+            return synthetic_report(codec, video, crf=crf, preset=preset)
+
+        monkeypatch.setattr(session_mod, "characterize", slow)
+        service = EncodeFarmService(service_dir)
+        return service.submit("fig04", tenant="ci")
+
+    @staticmethod
+    def _dispatch_forever(service_dir):
+        service = EncodeFarmService(
+            service_dir, ServiceConfig(heartbeat_interval=0.05)
+        )
+        service.poll_once()
+        os._exit(0)
+
+    def test_sigkilled_dispatcher_job_resumes(
+        self, monkeypatch, tmp_path
+    ):
+        service_dir = str(tmp_path / "svc")
+        job = self._submit_slow_job(service_dir, monkeypatch)
+        ledger_path = os.path.join(
+            job_dir(service_dir, job.job_id), "ledger.jsonl"
+        )
+
+        # Fork inherits the stubbed (slow) characterize, so the child
+        # dispatcher is genuinely mid-sweep when the parent kills it.
+        child = multiprocessing.get_context("fork").Process(
+            target=self._dispatch_forever, args=(service_dir,)
+        )
+        child.start()
+        deadline = time.monotonic() + 30.0
+        done_before = 0
+        while time.monotonic() < deadline:
+            # Raw read, not RunLedger: constructing a ledger truncates
+            # torn tails, which must not race the live writer.
+            try:
+                with open(ledger_path, "rb") as handle:
+                    done_before = handle.read().count(b'"status": "ok"')
+            except OSError:
+                done_before = 0
+            if 1 <= done_before < GRID_CELLS:
+                break
+            time.sleep(0.02)
+        assert 1 <= done_before < GRID_CELLS, "child never got mid-sweep"
+        os.kill(child.pid, signal.SIGKILL)
+        child.join(timeout=10.0)
+
+        # A fresh service instance must see the dead dispatcher's
+        # lease, record it lost, and requeue the job...
+        recovered = EncodeFarmService(
+            service_dir,
+            ServiceConfig(heartbeat_interval=0.05, heartbeat_misses=2),
+        )
+        revived = recovered.job(job.job_id)
+        assert revived.state == QUEUED
+        assert revived.leases == 1
+        assert "dead" in revived.meta["reason"]
+
+        # ...and the re-dispatch resumes from the cell ledger instead
+        # of recomputing: same result as a direct run, with the cells
+        # the dead dispatcher finished replayed, not re-executed.
+        done = recovered.poll_once()
+        assert done.state == COMPLETED
+        assert done.leases == 2
+        assert done.meta["resumed_cells"] >= done_before
+        direct = json.loads(run_experiment("fig04", workers=1).to_json())
+        doc = recovered.result(job.job_id)
+        assert doc["series"] == direct["series"]
+        assert doc["tables"] == direct["tables"]
+
+    def test_live_foreign_lease_is_left_alone(self, tmp_path):
+        service_dir = str(tmp_path / "svc")
+        log = JobLog(os.path.join(service_dir, "jobs.jsonl"))
+        log.append(record_now("j1", SUBMITTED, tenant="ci",
+                              experiment_id="fig04",
+                              estimated_seconds=1.0))
+        log.append(record_now("j1", ADMITTED, estimated_seconds=1.0))
+        # A lease held by *this* live pid with a beat "now": alive.
+        log.append(record_now("j1", LEASE, meta={"pid": os.getpid()}))
+        service = EncodeFarmService(service_dir)
+        assert service.job("j1").state == RUNNING
+
+    def test_dead_pid_lease_is_reaped_immediately(self, tmp_path):
+        service_dir = str(tmp_path / "svc")
+        log = JobLog(os.path.join(service_dir, "jobs.jsonl"))
+        log.append(record_now("j1", SUBMITTED, tenant="ci",
+                              experiment_id="fig04",
+                              estimated_seconds=1.0))
+        log.append(record_now("j1", ADMITTED, estimated_seconds=1.0))
+        # Spawn-and-reap a real process so the pid is definitely dead.
+        proc = multiprocessing.get_context("fork").Process(target=int)
+        proc.start()
+        dead_pid = proc.pid
+        proc.join()
+        log.append(record_now("j1", LEASE, meta={"pid": dead_pid}))
+        service = EncodeFarmService(service_dir)
+        job = service.job("j1")
+        assert job.state == QUEUED
+        assert "dead" in job.meta["reason"]

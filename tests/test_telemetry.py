@@ -296,6 +296,59 @@ class TestRunStatusMath:
         finished.manifest = {"status": "complete", "started_wall": 900.0}
         assert finished.eta_seconds() is None
 
+    def test_eta_none_before_first_completed_cell(self):
+        # Zero completed cells used to divide by a zero mean; now it is
+        # an honest "can't say".
+        status = self._status(cells_ok=0, durations=[])
+        assert status.eta_seconds() is None
+        assert status.throughput() is None
+
+    def test_eta_zero_when_nothing_remains(self):
+        status = self._status(cells_ok=10, cells_planned=10)
+        assert status.eta_seconds() == 0.0
+
+    def test_eta_ignores_closed_worker_streams(self):
+        # A worker whose stream ended ("final") is not coming back;
+        # counting it deflated ETAs near the end of every run.
+        live = self._status().workers[0]
+        done = WorkerView(
+            stream="worker-2", role="worker", pid=2, samples=5,
+            first_wall=900.0, last_wall=950.0, rss_kib=None,
+            peak_rss_kib=None, cpu_seconds=None, inflight=None,
+            last_kind="final",
+        )
+        status = self._status(workers=[live, done])
+        # 6 remaining x 2s mean over ONE live worker, not two.
+        assert status.eta_seconds() == pytest.approx(12.0)
+        status = self._status(workers=[done])
+        assert status.eta_seconds() is None
+
+    def test_elapsed_prefers_parent_monotonic_span(self):
+        # A wall-clock step (NTP, suspend) makes started_wall lie; the
+        # parent stream's monotonic span is a true duration.
+        parent = WorkerView(
+            stream="parent", role="parent", pid=9, samples=4,
+            first_wall=999999.0, last_wall=900.0,  # wall stepped back
+            rss_kib=None, peak_rss_kib=None, cpu_seconds=None,
+            inflight=None, last_kind="sample",
+            first_mono=50.0, last_mono=250.0,
+        )
+        status = self._status(workers=[parent])
+        assert status.elapsed_seconds() == pytest.approx(200.0)
+        assert status.throughput() == pytest.approx(4 / 200.0)
+
+    def test_elapsed_wall_fallback_never_negative(self):
+        # No telemetry: wall math is all there is, but a run "started
+        # in the future" must clamp to zero, and throughput must
+        # refuse to divide by it (the old math returned negatives).
+        status = self._status(workers=[])
+        status.manifest = {"status": "running", "started_wall": 1500.0}
+        assert status.elapsed_seconds() == 0.0
+        assert status.throughput() is None
+        status.manifest = {}
+        assert status.elapsed_seconds() is None
+        assert status.throughput() is None
+
     def test_format_status_renders_progress_and_workers(self):
         text = format_status(self._status())
         assert "4 ok" in text
