@@ -180,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "serial)",
     )
     experiment.add_argument(
+        "--affinity", action="store_true", default=None,
+        help="pin each pool worker to a distinct CPU core set "
+             "(sched_setaffinity; warns and runs unpinned where "
+             "unsupported; default: REPRO_AFFINITY, else off)",
+    )
+    experiment.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="memoise cell results in a content-addressed cache at "
              "PATH (default: REPRO_CACHE_DIR, else disabled)",
@@ -746,6 +752,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 span_log=args.span_log,
                 run_dir=args.run_dir,
                 workers=args.workers,
+                affinity=args.affinity,
                 cache_dir=args.cache_dir,
                 heartbeat_interval=args.heartbeat_interval,
                 max_worker_restarts=args.max_worker_restarts,

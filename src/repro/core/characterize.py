@@ -15,7 +15,7 @@ from ..errors import ExperimentError
 from ..obs.span import trace_span
 from ..resilience.faults import fault_point
 from ..uarch.machine import XEON_E5_2650_V4, MachineConfig
-from ..uarch.perfcounters import PerfReport, collect
+from ..uarch.perfcounters import PerfReport, StreamingCapture, collect
 from ..video import vbench
 from ..video.frame import Video
 
@@ -49,6 +49,7 @@ def characterize(
     preset: int | None = None,
     num_frames: int | None = None,
     cache_sample_period: int = 8,
+    streaming: bool = False,
 ) -> PerfReport:
     """Encode a workload under full instrumentation and measure it.
 
@@ -63,6 +64,12 @@ def characterize(
         Target machine model.
     num_frames:
         Proxy sequence length when loading a catalog clip.
+    streaming:
+        Simulate while the encode runs: the capture streams its branch
+        and touch chunks to the cache hierarchy and the predictor's
+        midpoint reservoir instead of buffering whole event streams,
+        keeping peak capture memory O(window).  Bit-identical to the
+        buffered pass (the ``capture-stream-parity`` invariant).
     """
     if isinstance(encoder, str):
         if crf is None or preset is None:
@@ -82,9 +89,18 @@ def characterize(
         frames=video.num_frames,
     ):
         fault_point(f"encode:{encoder.name}:{video.name}")
+        capture = (
+            StreamingCapture(
+                machine=machine, cache_sample_period=cache_sample_period
+            )
+            if streaming
+            else None
+        )
         with trace_span("encode", codec=encoder.name, video=video.name):
             result: EncodeResult = encoder.encode(
-                video, footprint_scale=(scale_h, scale_w)
+                video,
+                instrumenter=capture.instrumenter if capture else None,
+                footprint_scale=(scale_h, scale_w),
             )
         with trace_span("measure", codec=encoder.name, video=video.name):
             return collect(
@@ -94,6 +110,7 @@ def characterize(
                 duration_scale=duration_scale,
                 bitrate_scale=1.0,
                 cache_sample_period=cache_sample_period,
+                capture=capture,
             )
 
 

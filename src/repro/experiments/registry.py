@@ -51,6 +51,7 @@ from ..obs.telemetry import (
 from ..parallel.pool import (
     ParallelConfig,
     activate_parallel,
+    resolve_affinity,
     resolve_cache_dir,
     resolve_run_dir,
     resolve_supervision,
@@ -192,6 +193,7 @@ def run_experiment(
     run_dir: str | None = None,
     obs: ObsContext | None = None,
     workers: int | str | None = None,
+    affinity: bool | None = None,
     cache_dir: str | None = None,
     cache_salt: str = "",
     heartbeat_interval: float | None = None,
@@ -249,6 +251,13 @@ def run_experiment(
         deterministic
         point order, so results match a serial run.  Defaults to
         ``REPRO_WORKERS``, else serial.
+    affinity:
+        Pin each pool worker to a distinct core set
+        (``os.sched_setaffinity``); a no-op with a structured warning
+        on platforms without scheduler affinity.  Pinning never
+        changes results — pinned pooled sweeps merge element-for-
+        element identical to serial runs.  Defaults to
+        ``REPRO_AFFINITY``, else off.
     cache_dir:
         Enable the content-addressed result cache rooted here (see
         :mod:`repro.cache`); cells whose key is already stored are
@@ -326,6 +335,7 @@ def run_experiment(
         heartbeat_interval=heartbeat_interval,
         max_worker_restarts=max_worker_restarts,
         run_dir=run_dir,
+        affinity=affinity,
     )
     obs_context = obs if obs is not None else ObsContext()
     manifest: dict = {}
@@ -337,6 +347,7 @@ def run_experiment(
             "started_wall": time.time(),
             "pid": os.getpid(),
             "workers": resolve_workers(workers),
+            "affinity": resolve_affinity(affinity),
         }
         _write_manifest(run_dir, manifest, replace=True)
         obs_context.telemetry = open_sink(
@@ -374,6 +385,7 @@ def run_experiment(
                         result = _call_runner(experiment_id, runner, kwargs)
             result.provenance["parallel"] = {
                 "workers": resolve_workers(workers),
+                "affinity": resolve_affinity(affinity),
                 "cache_dir": resolve_cache_dir(cache_dir),
                 "heartbeat_interval": supervision.heartbeat_interval,
                 "max_worker_restarts": supervision.max_worker_restarts,

@@ -26,7 +26,7 @@ from typing import Any
 from ..resilience.ledger import LEASE, LOST, OK, QUARANTINED
 from .export import read_span_log
 from .runstatus import RunStatus, load_run_status
-from .telemetry import SPAN_LOG_FILE
+from .telemetry import SPAN_LOG_FILE, read_telemetry, telemetry_dir
 
 #: How many cells the ranked sections keep.
 _TOP_N = 10
@@ -159,6 +159,32 @@ def _span_sections(run_dir: str, status: RunStatus) -> dict[str, Any]:
     return {"phases": phase_rows, "fault_timeline": timeline}
 
 
+def _capture_peaks(run_dir: str) -> list[dict[str, Any]]:
+    """Per-cell capture-memory high-water marks from worker telemetry.
+
+    Each pool worker closes its cell with a ``final`` sample carrying
+    ``cell`` and ``capture_peak_kib`` (the tracemalloc peak over the
+    cell); ranked highest first, one row per cell (a re-dispatched
+    cell keeps its worst peak).
+    """
+    peaks: dict[str, float] = {}
+    for samples in read_telemetry(telemetry_dir(run_dir)).values():
+        for sample in samples:
+            cell = sample.get("cell")
+            peak = sample.get("capture_peak_kib")
+            if not isinstance(cell, str) or not isinstance(
+                peak, (int, float)
+            ) or isinstance(peak, bool):
+                continue
+            peaks[cell] = max(peaks.get(cell, 0.0), float(peak))
+    return [
+        {"cell": cell, "capture_peak_kib": round(peak, 3)}
+        for cell, peak in sorted(
+            peaks.items(), key=lambda item: item[1], reverse=True
+        )
+    ][:_TOP_N]
+
+
 def run_report(run_dir: str) -> dict[str, Any]:
     """The full run-health report for one run directory."""
     status = load_run_status(run_dir)
@@ -183,9 +209,11 @@ def run_report(run_dir: str) -> dict[str, Any]:
                 "peak_rss_kib": w.peak_rss_kib,
                 "cpu_seconds": w.cpu_seconds,
                 "inflight": w.inflight,
+                "affinity": w.affinity,
             }
             for w in status.workers
         ],
+        "capture_peaks": _capture_peaks(run_dir),
     }
     report.update(_ledger_sections(status, run_dir))
     report.update(_span_sections(run_dir, status))
@@ -212,9 +240,21 @@ def format_report(report: dict[str, Any]) -> str:
         for row in report["workers"]:
             peak = row.get("peak_rss_kib")
             rendered = f"{peak / 1024:.1f}MiB" if peak is not None else "?"
+            cpus = row.get("affinity")
             lines.append(
                 f"    {row['stream']:<18} pid {row['pid']:>7} "
                 f"{row.get('role', 'worker'):<7} peak {rendered:>9}"
+                + (
+                    "  cpus " + ",".join(str(c) for c in cpus)
+                    if cpus is not None
+                    else ""
+                )
+            )
+    if report.get("capture_peaks"):
+        lines.append("  capture peaks (tracemalloc, per cell):")
+        for row in report["capture_peaks"]:
+            lines.append(
+                f"    {row['capture_peak_kib']:>10.1f}KiB  {row['cell']}"
             )
     if report["slowest_cells"]:
         lines.append("  slowest cells:")

@@ -94,6 +94,8 @@ from .supervise import (
 
 #: Environment override for the default worker count (0 = all cores).
 _ENV_WORKERS = "REPRO_WORKERS"
+#: Environment override for CPU-affinity worker placement.
+_ENV_AFFINITY = "REPRO_AFFINITY"
 #: Environment overrides for the supervisor's knobs.
 _ENV_HEARTBEAT = "REPRO_HEARTBEAT_INTERVAL"
 _ENV_RESTARTS = "REPRO_MAX_WORKER_RESTARTS"
@@ -123,6 +125,9 @@ class ParallelConfig:
     #: ``repro status``) and every worker streams telemetry samples
     #: into ``<run-dir>/telemetry/``.
     run_dir: str | None = None
+    #: Pin each pool worker to a distinct core set
+    #: (``os.sched_setaffinity``); ``None`` falls through the env.
+    affinity: bool | None = None
 
     def __post_init__(self) -> None:
         # Reject nonsense at construction, not deep inside a sweep.
@@ -209,6 +214,68 @@ def resolve_workers(workers: int | str | None = None) -> int:
     if workers == WORKERS_AUTO:
         return os.cpu_count() or 1
     return workers
+
+
+_AFFINITY_TRUE = frozenset({"1", "true", "yes", "on"})
+_AFFINITY_FALSE = frozenset({"", "0", "false", "no", "off"})
+
+
+def resolve_affinity(affinity: bool | None = None) -> bool:
+    """Effective affinity setting: explicit > ambient > env > off."""
+    if affinity is None and _current is not None:
+        affinity = _current.affinity
+    if affinity is None:
+        raw = os.environ.get(_ENV_AFFINITY, "").strip().lower()
+        if raw in _AFFINITY_TRUE:
+            affinity = True
+        elif raw in _AFFINITY_FALSE:
+            affinity = False
+        else:
+            raise ExperimentError(
+                f"{_ENV_AFFINITY}={raw!r} is not a boolean "
+                f"(use 1/true/yes/on or 0/false/no/off)"
+            )
+    return bool(affinity)
+
+
+def partition_cores(
+    worker_count: int, cores: Iterable[int] | None = None
+) -> list[tuple[int, ...]] | None:
+    """Split the schedulable cores into one set per worker.
+
+    Contiguous, nearly-even, disjoint blocks when there are at least
+    as many cores as workers (adjacent logical CPUs tend to share
+    cache levels, which is the locality the pinning is after);
+    single-core sets reused round-robin when workers outnumber cores.
+    Returns ``None`` — pinning not possible — on platforms without
+    ``os.sched_getaffinity``/``os.sched_setaffinity`` (macOS, Windows)
+    or when the core set cannot be read; the caller degrades to a
+    structured warning, never an error.
+    """
+    if not (
+        hasattr(os, "sched_getaffinity") and hasattr(os, "sched_setaffinity")
+    ):
+        return None
+    if cores is None:
+        try:
+            cores = os.sched_getaffinity(0)
+        except OSError:  # pragma: no cover - getaffinity(0) failing
+            return None
+    ordered = sorted(cores)
+    if not ordered:
+        return None
+    if worker_count >= len(ordered):
+        return [
+            (ordered[i % len(ordered)],) for i in range(worker_count)
+        ]
+    base, extra = divmod(len(ordered), worker_count)
+    sets: list[tuple[int, ...]] = []
+    pos = 0
+    for i in range(worker_count):
+        size = base + (1 if i < extra else 0)
+        sets.append(tuple(ordered[pos:pos + size]))
+        pos += size
+    return sets
 
 
 def _env_number(name: str, parse, kind: str):
@@ -321,16 +388,39 @@ class _CellJob:
     video_payload: Any = None
 
 
-def _worker_init() -> None:
+#: The core set this worker process was pinned to (``None`` = unpinned).
+_WORKER_CORES: tuple[int, ...] | None = None
+
+
+def _worker_init(slot_counter=None, core_sets=None) -> None:
     """Pool-worker initializer: leave terminal signals to the parent.
 
     Ctrl-C reaches the whole foreground process group; if workers died
     on the first SIGINT there would be nothing left to drain.  Workers
     ignore SIGINT/SIGTERM and the parent decides — finish in-flight
     cells on a drain, SIGKILL on a stall.
+
+    With affinity enabled the parent passes a shared slot counter and
+    the core partition: each fresh worker claims the next slot and
+    pins itself to that slot's core set.  The counter lives across
+    pool rebuilds (modulo the partition size), so a replacement worker
+    inherits a still-distinct set rather than stacking on core 0.
     """
     _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
     _signal.signal(_signal.SIGTERM, _signal.SIG_IGN)
+    if slot_counter is None or not core_sets:
+        return
+    global _WORKER_CORES
+    with slot_counter.get_lock():
+        slot = slot_counter.value
+        slot_counter.value += 1
+    cores = core_sets[slot % len(core_sets)]
+    try:
+        os.sched_setaffinity(0, cores)
+    except (AttributeError, OSError):
+        _WORKER_CORES = None
+    else:
+        _WORKER_CORES = tuple(sorted(cores))
 
 
 def _worker_cell(job: _CellJob) -> dict[str, Any]:
@@ -381,6 +471,18 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
         )
         if sink is not None:
             sink.annotate(inflight=cell_key)
+            if _WORKER_CORES is not None:
+                sink.annotate(affinity=list(_WORKER_CORES))
+    # Capture-memory accounting rides with telemetry: tracemalloc's
+    # peak over the cell bounds what the (streaming or buffered)
+    # capture pipeline retained, the number the `capture_peak_kib`
+    # report column surfaces per cell.
+    capture_peak_kib: float | None = None
+    trace_memory = sink is not None
+    if trace_memory:
+        import tracemalloc
+
+        tracemalloc.start()
     status, payload, error = OK, None, None
     try:
         with activate_obs(obs):
@@ -392,11 +494,21 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
                 error = f"{type(exc.cause).__name__}: {exc.cause}"
             cell_end = obs.clock.monotonic()
     finally:
+        if trace_memory:
+            import tracemalloc
+
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            capture_peak_kib = round(peak / 1024.0, 3)
         if heartbeat is not None:
             heartbeat.stop()
         if sink is not None:
             sink.annotate(inflight=None)
-            sink.stop(cell=cell_key, status=status)
+            sink.stop(
+                cell=cell_key,
+                status=status,
+                capture_peak_kib=capture_peak_kib,
+            )
     outcome = (
         session.guard.outcomes[-1]
         if session.guard is not None and session.guard.outcomes
@@ -420,6 +532,10 @@ def _worker_cell(job: _CellJob) -> dict[str, Any]:
         "events": [event.to_jsonable() for event in obs.events.events],
         "metrics": obs.metrics.snapshot(),
         "pid": os.getpid(),
+        "affinity": (
+            list(_WORKER_CORES) if _WORKER_CORES is not None else None
+        ),
+        "capture_peak_kib": capture_peak_kib,
     }
 
 
@@ -891,6 +1007,27 @@ def _run_supervised(
             kind="sweep", cells=len(pending), workers=worker_count
         )
         parent_sink.annotate(phase="pool.supervise")
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+    # CPU-affinity placement: partition the schedulable cores once and
+    # hand every (re)built pool the same partition plus a shared slot
+    # counter, so each fresh worker pins itself to a distinct set.
+    core_sets: list[tuple[int, ...]] | None = None
+    slot_counter = None
+    if resolve_affinity():
+        core_sets = partition_cores(worker_count)
+        if core_sets is None:
+            obs_events.warn(
+                "pool.affinity.unsupported",
+                "affinity requested but this platform has no "
+                "sched_setaffinity; workers run unpinned",
+                workers=worker_count,
+            )
+        else:
+            slot_counter = context.Value("i", 0)
     obs_events.emit(
         "pool.start",
         f"dispatching {len(pending)} cell(s) over "
@@ -898,10 +1035,7 @@ def _run_supervised(
         cells=len(pending),
         workers=worker_count,
         heartbeat_interval=config.heartbeat_interval,
-    )
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else None
+        affinity=core_sets is not None,
     )
     thread_rows: dict[tuple[int, int], int] = {}
     supervisor = _Supervisor(session, pending, config, worker_count)
@@ -954,6 +1088,7 @@ def _run_supervised(
             max_workers=worker_count,
             mp_context=context,
             initializer=_worker_init,
+            initargs=(slot_counter, core_sets),
         )
 
     def merge(lease: Lease, result: dict[str, Any]) -> None:

@@ -34,8 +34,11 @@ import zlib
 from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
+import numpy as np
+
+from .. import kernels
 from ..errors import TraceError
 from .costmodel import kernel_cost
 from .instruction import (
@@ -49,6 +52,18 @@ from .instruction import (
 
 #: Cache-line size assumed by address generation.
 LINE_BYTES = 64
+
+#: A branch-stream consumer: receives one flushed chunk as columnar
+#: ``(pcs int64, taken int8)`` arrays in program order.
+BranchSink = Callable[[np.ndarray, np.ndarray], None]
+
+#: A touch-stream consumer: receives one flushed chunk as the six
+#: columnar touch arrays ``(base, rows, row_bytes, pitch, write,
+#: repeats)`` in program order.
+TouchSink = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    None,
+]
 
 #: Process-wide kernel-cost lookup cache (costs are immutable).
 _KERNEL_CACHE: dict = {}
@@ -141,6 +156,25 @@ class Instrumenter:
         self._branch_taken = array("b")
         self.decision_branches = 0
         self.decision_taken = 0
+
+        # Streaming sink mode: registered consumers receive bounded
+        # chunks and the buffers are surrendered at each flush, so peak
+        # capture memory is O(window) instead of O(events).  Once any
+        # events have been flushed the whole-stream accessors raise —
+        # the instrumenter no longer holds the complete stream.
+        self._branch_sinks: list[BranchSink] = []
+        self._touch_sinks: list[TouchSink] = []
+        self._branch_window = 0
+        self._touch_window = 0
+        self._branches_flushed = 0
+        self._touches_flushed = 0
+
+        # Cached object views (satellite of the columnar design: the
+        # deprecated per-event accessors used to rebuild full Python
+        # object lists on every read).
+        self._branch_events_cache: list[BranchEvent] | None = None
+        self._touches_cache: list[MemoryTouch] | None = None
+        self._loop_summaries_cache: list[LoopSummary] | None = None
 
         # Compressed loop-branch summaries keyed by (pc, trip_count).
         self._loops: dict[tuple[int, int], int] = {}
@@ -263,6 +297,112 @@ class Instrumenter:
             self._fn_pending_top = parent_pending
 
     # ------------------------------------------------------------------
+    # Streaming sinks
+    # ------------------------------------------------------------------
+    def register_branch_sink(
+        self, sink: BranchSink, window: int | None = None
+    ) -> None:
+        """Stream branch chunks to ``sink(pcs, taken)`` as they fill.
+
+        ``window`` is the flush threshold in events; ``None`` resolves
+        :func:`repro.kernels.stream_chunk_events` (``REPRO_REPLAY_CHUNK``)
+        at registration time, and ``0`` flushes only at
+        :meth:`flush_stream`.  Registering a sink switches the branch
+        stream to streaming mode: buffers are surrendered at each
+        flush, so :meth:`branch_events` / :meth:`branch_arrays` raise
+        once anything has been flushed.
+        """
+        if not self.record_branches:
+            raise TraceError(
+                "cannot register a branch sink with record_branches=False: "
+                "no branch events are buffered to stream"
+            )
+        if self._branches_flushed:
+            raise TraceError(
+                "cannot register a branch sink after events were flushed; "
+                "earlier chunks would be missing from the new consumer"
+            )
+        self._branch_sinks.append(sink)
+        self._branch_window = (
+            kernels.stream_chunk_events() if window is None else max(int(window), 0)
+        )
+
+    def register_touch_sink(
+        self, sink: TouchSink, window: int | None = None
+    ) -> None:
+        """Stream touch chunks to ``sink(*columns)`` as they fill.
+
+        Same contract as :meth:`register_branch_sink`, over the six
+        columnar touch arrays.
+        """
+        if not self.record_touches:
+            raise TraceError(
+                "cannot register a touch sink with record_touches=False: "
+                "no memory touches are buffered to stream"
+            )
+        if self._touches_flushed:
+            raise TraceError(
+                "cannot register a touch sink after touches were flushed; "
+                "earlier chunks would be missing from the new consumer"
+            )
+        self._touch_sinks.append(sink)
+        self._touch_window = (
+            kernels.stream_chunk_events() if window is None else max(int(window), 0)
+        )
+
+    @property
+    def streaming(self) -> bool:
+        """True when any streaming sink is registered."""
+        return bool(self._branch_sinks or self._touch_sinks)
+
+    def _flush_branch_chunk(self) -> None:
+        count = len(self._branch_pcs)
+        if not count:
+            return
+        pcs = np.frombuffer(self._branch_pcs, dtype=np.int64).copy()
+        taken = np.frombuffer(self._branch_taken, dtype=np.int8).copy()
+        self._branch_pcs = array("q")
+        self._branch_taken = array("b")
+        self._branches_flushed += count
+        self._branch_events_cache = None
+        for sink in self._branch_sinks:
+            sink(pcs, taken)
+
+    def _flush_touch_chunk(self) -> None:
+        count = len(self._touch_base)
+        if not count:
+            return
+        columns = (
+            np.frombuffer(self._touch_base, dtype=np.int64).copy(),
+            np.frombuffer(self._touch_rows, dtype=np.int64).copy(),
+            np.frombuffer(self._touch_rowbytes, dtype=np.int64).copy(),
+            np.frombuffer(self._touch_pitch, dtype=np.int64).copy(),
+            np.frombuffer(self._touch_write, dtype=np.int8).copy(),
+            np.frombuffer(self._touch_repeats, dtype=np.int64).copy(),
+        )
+        self._touch_base = array("q")
+        self._touch_rows = array("q")
+        self._touch_rowbytes = array("q")
+        self._touch_pitch = array("q")
+        self._touch_write = array("b")
+        self._touch_repeats = array("q")
+        self._touches_flushed += count
+        self._touches_cache = None
+        for sink in self._touch_sinks:
+            sink(*columns)
+
+    def flush_stream(self) -> None:
+        """Flush any buffered partial chunks to the registered sinks.
+
+        Call once at end of capture; flushing with no sinks registered
+        is a no-op, so callers need not track the mode themselves.
+        """
+        if self._branch_sinks:
+            self._flush_branch_chunk()
+        if self._touch_sinks:
+            self._flush_touch_chunk()
+
+    # ------------------------------------------------------------------
     # Branch events
     # ------------------------------------------------------------------
     def site(self, name: str) -> int:
@@ -288,6 +428,11 @@ class Instrumenter:
         if self.record_branches:
             self._branch_pcs.append(pc)
             self._branch_taken.append(1 if taken else 0)
+            if (
+                self._branch_window
+                and len(self._branch_pcs) >= self._branch_window
+            ):
+                self._flush_branch_chunk()
 
     def loop(self, pc: int, trip_count: int, invocations: int = 1) -> None:
         """Record a counted loop's backward branch in compressed form."""
@@ -295,14 +440,25 @@ class Instrumenter:
             raise TraceError("loop trip count and invocations must be >= 1")
         key = (pc, trip_count)
         self._loops[key] = self._loops.get(key, 0) + invocations
+        self._loop_summaries_cache = None
 
     @property
     def loop_summaries(self) -> list[LoopSummary]:
-        """All compressed loop-branch records."""
-        return [
-            LoopSummary(pc=pc, trip_count=trip, invocations=n)
-            for (pc, trip), n in self._loops.items()
-        ]
+        """All compressed loop-branch records (cached between loops).
+
+        The view is rebuilt only after :meth:`loop` or :meth:`merge`
+        invalidates it — repeated reads (the perf-counter pass reads it
+        per collect) return the same list instead of rebuilding one
+        object per record every time.
+        """
+        cache = self._loop_summaries_cache
+        if cache is None:
+            cache = [
+                LoopSummary(pc=pc, trip_count=trip, invocations=n)
+                for (pc, trip), n in self._loops.items()
+            ]
+            self._loop_summaries_cache = cache
+        return cache
 
     @property
     def loop_branch_instructions(self) -> int:
@@ -316,15 +472,35 @@ class Instrumenter:
             trip * n for (_, trip), n in self._loops.items()
         )
 
+    def _require_whole_branch_stream(self) -> None:
+        if self._branches_flushed:
+            raise TraceError(
+                "branch stream was flushed to registered sinks; the "
+                "instrumenter no longer holds the whole stream — consume "
+                "it through a branch sink instead"
+            )
+
     def branch_events(self) -> list[BranchEvent]:
-        """Decision-branch events in program order."""
-        return [
-            BranchEvent(pc=pc, taken=bool(taken))
-            for pc, taken in zip(self._branch_pcs, self._branch_taken)
-        ]
+        """Decision-branch events in program order.
+
+        .. deprecated:: prefer :meth:`branch_arrays` (or a registered
+           branch sink) — the columnar form is what every replay kernel
+           consumes.  This per-event object view is kept for existing
+           callers and built at most once per stream state.
+        """
+        self._require_whole_branch_stream()
+        cache = self._branch_events_cache
+        if cache is None or len(cache) != len(self._branch_pcs):
+            cache = [
+                BranchEvent(pc=pc, taken=bool(taken))
+                for pc, taken in zip(self._branch_pcs, self._branch_taken)
+            ]
+            self._branch_events_cache = cache
+        return cache
 
     def branch_arrays(self) -> tuple[array, array]:
         """Raw columnar branch buffers ``(pcs, taken)`` (zero-copy)."""
+        self._require_whole_branch_stream()
         return self._branch_pcs, self._branch_taken
 
     # ------------------------------------------------------------------
@@ -365,10 +541,30 @@ class Instrumenter:
         self._touch_pitch.append(plane.pitch)
         self._touch_write.append(1 if write else 0)
         self._touch_repeats.append(repeats)
+        if self._touch_window and len(self._touch_base) >= self._touch_window:
+            self._flush_touch_chunk()
+
+    def _require_whole_touch_stream(self) -> None:
+        if self._touches_flushed:
+            raise TraceError(
+                "touch stream was flushed to registered sinks; the "
+                "instrumenter no longer holds the whole stream — consume "
+                "it through a touch sink instead"
+            )
 
     def touches(self) -> list[MemoryTouch]:
-        """Memory touches in program order."""
-        return [
+        """Memory touches in program order.
+
+        .. deprecated:: prefer :meth:`touch_arrays` (or a registered
+           touch sink) — the cache driver consumes the columns
+           directly.  This per-event object view is kept for existing
+           callers and built at most once per stream state.
+        """
+        self._require_whole_touch_stream()
+        cache = self._touches_cache
+        if cache is not None and len(cache) == len(self._touch_base):
+            return cache
+        cache = [
             MemoryTouch(
                 base_addr=base,
                 rows=rows,
@@ -386,9 +582,12 @@ class Instrumenter:
                 self._touch_repeats,
             )
         ]
+        self._touches_cache = cache
+        return cache
 
     def touch_arrays(self) -> tuple[array, array, array, array, array, array]:
         """Raw columnar touch buffers (zero-copy)."""
+        self._require_whole_touch_stream()
         return (
             self._touch_base,
             self._touch_rows,
@@ -413,6 +612,14 @@ class Instrumenter:
         Used by the thread-scalability model, where per-task
         instrumenters are merged into a whole-encode view.
         """
+        if self.streaming or other.streaming:
+            raise TraceError(
+                "cannot merge streaming instrumenters: flushed chunks "
+                "are owned by their sinks, not the instrumenter"
+            )
+        self._branch_events_cache = None
+        self._touches_cache = None
+        self._loop_summaries_cache = None
         self.counts.merge(other.counts)
         self.decision_branches += other.decision_branches
         self.decision_taken += other.decision_taken

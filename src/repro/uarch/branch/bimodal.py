@@ -8,7 +8,11 @@ import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
-from .replay import batched_counter_mispredicts, two_bit_counter_replay
+from .replay import (
+    batched_counter_mispredicts,
+    batched_counter_predictions,
+    two_bit_counter_replay,
+)
 
 
 class BimodalPredictor(BranchPredictor):
@@ -78,6 +82,23 @@ class BimodalPredictor(BranchPredictor):
             ((pcs >> 2) & self._mask) for pcs, _ in streams
         ]
         return batched_counter_mispredicts(
+            self._table, self._entries, indices,
+            [taken for _, taken in streams],
+        )
+
+    def replay_batch_predictions(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Per-stream prediction columns; ``self`` untouched.
+
+        The component form of :meth:`replay_batch` — composite
+        predictors (tournament) need every stream's per-event
+        predictions, not just the counts.
+        """
+        indices = [
+            ((pcs >> 2) & self._mask) for pcs, _ in streams
+        ]
+        return batched_counter_predictions(
             self._table, self._entries, indices,
             [taken for _, taken in streams],
         )

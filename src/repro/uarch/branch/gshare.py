@@ -16,6 +16,7 @@ from ...errors import SimulationError
 from .base import BranchPredictor
 from .replay import (
     batched_counter_mispredicts,
+    batched_counter_predictions,
     final_history,
     history_stream,
     two_bit_counter_replay,
@@ -127,6 +128,26 @@ class GsharePredictor(BranchPredictor):
             for pcs, taken in streams
         ]
         return batched_counter_mispredicts(
+            self._table, self._entries, indices,
+            [taken for _, taken in streams],
+        )
+
+    def replay_batch_predictions(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Per-stream prediction columns; ``self`` untouched.
+
+        The component form of :meth:`replay_batch` — each stream's
+        history register evolves independently from the current value,
+        so the index streams match what per-stream clones would use.
+        """
+        indices = [
+            ((pcs >> 2)
+             ^ history_stream(taken, self._history_bits, self._history))
+            & self._mask
+            for pcs, taken in streams
+        ]
+        return batched_counter_predictions(
             self._table, self._entries, indices,
             [taken for _, taken in streams],
         )

@@ -8,6 +8,8 @@ histories.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...errors import SimulationError
@@ -111,6 +113,77 @@ class PerceptronPredictor(BranchPredictor):
             start = end
         self._history = extended[n : n + h][::-1].copy()
         self._last_output = last_output
+        return mispredicts
+
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """All streams in one grouped walk over disjoint index spaces.
+
+        Stream ``b``'s perceptron indices are offset by
+        ``b × num_perceptrons``, so after the stable sort each group
+        holds the events of exactly one (stream, weight-vector) pair in
+        program order.  Every group starts from a *copy* of the current
+        weight row (each stream trains its own virtual table; ``self``
+        — weights, history register, last output — is untouched), and
+        each stream's history-row matrix is built from the current
+        register exactly as :meth:`replay` would build it.
+        """
+        if not streams:
+            return []
+        num = self._mask + 1
+        h = len(self._history)
+        rows_parts: list[np.ndarray] = []
+        targets_parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
+        for b, (pcs, taken) in enumerate(streams):
+            n = int(pcs.size)
+            targets = np.where(taken != 0, 1, -1).astype(np.int16)
+            extended = np.concatenate([self._history[::-1], targets])
+            rows_parts.append(
+                np.flip(
+                    np.lib.stride_tricks.sliding_window_view(extended, h)[:n],
+                    axis=1,
+                )
+            )
+            targets_parts.append(targets)
+            index_parts.append(((pcs >> 2) & self._mask) + b * num)
+        history_rows = (
+            np.vstack(rows_parts) if len(rows_parts) > 1 else rows_parts[0]
+        )
+        indices = np.concatenate(index_parts)
+        total = int(indices.size)
+        stream_of = np.repeat(
+            np.arange(len(streams), dtype=np.int64),
+            [part.size for part in index_parts],
+        ).tolist()
+        targets_list = np.concatenate(targets_parts).tolist()
+        order = np.argsort(indices, kind="stable")
+        group = indices[order].tolist()
+        order_list = order.tolist()
+        weights = self._weights
+        theta = self._threshold
+        mispredicts = [0] * len(streams)
+        start = 0
+        while start < total:
+            index = group[start]
+            end = start + 1
+            while end < total and group[end] == index:
+                end += 1
+            row_weights = weights[index & self._mask].copy()
+            taps = row_weights[1:]
+            for at in order_list[start:end]:
+                history_row = history_rows[at]
+                output = int(row_weights[0]) + int(taps @ history_row)
+                target = targets_list[at]
+                actual = target > 0
+                predicted = output >= 0
+                if predicted != actual:
+                    mispredicts[stream_of[at]] += 1
+                if predicted != actual or abs(output) <= theta:
+                    row_weights[0] = min(127, max(-128, int(row_weights[0]) + target))
+                    np.clip(taps + target * history_row, -128, 127, out=taps)
+            start = end
         return mispredicts
 
     @property

@@ -119,13 +119,31 @@ def two_bit_counter_replay(
     return before >= 2
 
 
-def batched_counter_mispredicts(
+def stream_bounds(counts: np.ndarray) -> np.ndarray:
+    """Concatenation boundaries ``[0, c0, c0+c1, ...]`` of stream sizes."""
+    bounds = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return bounds
+
+
+def segment_counts(flags: np.ndarray, bounds: np.ndarray) -> list[int]:
+    """Per-segment popcounts of a concatenated boolean column.
+
+    Boundary-aligned cumsum differences — robust to empty segments,
+    unlike ``reduceat``.
+    """
+    prefix = np.zeros(flags.size + 1, dtype=np.int64)
+    np.cumsum(flags, out=prefix[1:])
+    return (prefix[bounds[1:]] - prefix[bounds[:-1]]).tolist()
+
+
+def batched_counter_scan(
     table: np.ndarray,
     entries: int,
     indices: list[np.ndarray],
     taken: list[np.ndarray],
-) -> list[int]:
-    """Replay many independent streams' 2-bit chains in one scan.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One saturating-counter scan over many independent streams.
 
     Stream ``b``'s indices are offset by ``b * entries``, making the
     index spaces disjoint, and the stable sort inside
@@ -133,11 +151,12 @@ def batched_counter_mispredicts(
     order — so one concatenated scan is exactly equivalent to one scan
     per stream.  Every stream's chains start from a gather of the
     *current* ``table`` (which is not written back: the streams are
-    independent cells, each training its own virtual copy).  Returns
-    the per-stream mispredict counts.
+    independent cells, each training its own virtual copy).
+
+    Returns ``(before, cat_taken, bounds)``: the concatenated pre-update
+    counter column (program order within each stream), the concatenated
+    outcome column, and the stream boundaries for per-segment reduction.
     """
-    if not indices:
-        return []
     counts = np.array([idx.size for idx in indices], dtype=np.int64)
     offsets = np.repeat(
         np.arange(len(indices), dtype=np.int64) * entries, counts
@@ -151,14 +170,50 @@ def batched_counter_mispredicts(
         0,
         3,
     )
+    return before, cat_taken, stream_bounds(counts)
+
+
+def batched_counter_mispredicts(
+    table: np.ndarray,
+    entries: int,
+    indices: list[np.ndarray],
+    taken: list[np.ndarray],
+) -> list[int]:
+    """Replay many independent streams' 2-bit chains in one scan.
+
+    Thin reduction over :func:`batched_counter_scan`: the per-stream
+    mispredict counts of the disjoint-index-space concatenated scan.
+    """
+    if not indices:
+        return []
+    before, cat_taken, bounds = batched_counter_scan(
+        table, entries, indices, taken
+    )
     wrong = (before >= 2) != (cat_taken != 0)
-    # Per-segment totals via boundary-aligned cumsum differences
-    # (robust to empty streams, unlike reduceat).
-    prefix = np.zeros(wrong.size + 1, dtype=np.int64)
-    np.cumsum(wrong, out=prefix[1:])
-    bounds = np.zeros(len(indices) + 1, dtype=np.int64)
-    np.cumsum(counts, out=bounds[1:])
-    return (prefix[bounds[1:]] - prefix[bounds[:-1]]).tolist()
+    return segment_counts(wrong, bounds)
+
+
+def batched_counter_predictions(
+    table: np.ndarray,
+    entries: int,
+    indices: list[np.ndarray],
+    taken: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Per-event predicted directions for many independent streams.
+
+    Same disjoint-index-space construction as
+    :func:`batched_counter_mispredicts`, but returning each stream's
+    full prediction column (bool, program order) instead of the count —
+    the building block composite predictors (tournament) need to feed
+    their chooser.  ``table`` is left untouched.
+    """
+    if not indices:
+        return []
+    before, _, bounds = batched_counter_scan(table, entries, indices, taken)
+    predictions = before >= 2
+    return [
+        predictions[bounds[b] : bounds[b + 1]] for b in range(len(indices))
+    ]
 
 
 def history_stream(

@@ -17,6 +17,7 @@ implementation trick), so per-branch work is constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -210,23 +211,27 @@ class TagePredictor(BranchPredictor):
             self._fold_tag0[i].push(bit, outgoing)
             self._fold_tag1[i].push(bit, outgoing)
 
-    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
-        """Columnar replay: precomputed fold/index/tag streams.
+    def _stream_columns(
+        self, pcs: np.ndarray, taken: np.ndarray
+    ) -> tuple[
+        list[list[int]],
+        list[list[int]],
+        list[tuple[int, int, int]],
+        list[int],
+        list[bool],
+        np.ndarray,
+    ]:
+        """Precompute one stream's fold/index/tag columns from current state.
 
         The folded-history registers (and hence every table index and
         tag) depend only on the outcome stream, never on table state,
-        so all of them are computed up front with the closed-form
-        :func:`fold_stream`.  What remains per event — tag-match scan,
-        counter updates, allocation — is inherently sequential through
-        the tables, so it runs as a tight loop over plain Python lists
-        (no per-event NumPy indexing, fold pushing, or attribute
-        chasing).  Bit-parity with predict()/update() covers both the
-        mispredict count and all post-replay state.
+        so whole columns are computed up front with the closed-form
+        :func:`fold_stream`.  Returns ``(index_cols, tag_cols,
+        final_folds, base_idx, outcomes, full)`` where ``full`` is the
+        retained-history-plus-stream outcome column the history window
+        write-back slices from.
         """
         n = int(pcs.size)
-        if n == 0:
-            return 0
-        num_tables = len(self._tables)
         m = len(self._history)
         full = np.concatenate(
             [
@@ -253,13 +258,35 @@ class TagePredictor(BranchPredictor):
             final_folds.append(
                 (int(fold_idx[m + n]), int(fold_t0[m + n]), int(fold_t1[m + n]))
             )
-        base = self._base.tolist()
-        ctr = [t.tolist() for t in self._ctr]
-        tag_tables = [t.tolist() for t in self._tag]
-        useful = [t.tolist() for t in self._useful]
         base_idx = (pcw & self._base_mask).tolist()
         outcomes = (taken != 0).tolist()
-        use_alt = self._use_alt
+        return index_cols, tag_cols, final_folds, base_idx, outcomes, full
+
+    def _replay_loop(
+        self,
+        index_cols: list[list[int]],
+        tag_cols: list[list[int]],
+        base_idx: list[int],
+        outcomes: list[bool],
+        base: list[int],
+        ctr: list[list[int]],
+        tag_tables: list[list[int]],
+        useful: list[list[int]],
+        use_alt: int,
+    ) -> tuple[int, int, int, int, bool, bool]:
+        """The sequential per-event core of columnar replay.
+
+        Tag-match scan, counter updates, allocation — inherently
+        sequential through the tables, so it runs as a tight loop over
+        plain Python lists (no per-event NumPy indexing, fold pushing,
+        or attribute chasing).  Mutates the supplied list-form tables
+        in place; the caller decides whether they are the real tables
+        (:meth:`replay` writes them back) or per-stream virtual copies
+        (:meth:`replay_batch` discards them).  Returns ``(mispredicts,
+        use_alt, hit, alt, pred, alt_pred)``.
+        """
+        n = len(outcomes)
+        num_tables = len(self._tables)
         mispredicts = 0
         last_table = num_tables - 1
         pred = self._pred if hasattr(self, "_pred") else False
@@ -337,6 +364,32 @@ class TagePredictor(BranchPredictor):
                         a_index = index_cols[i][k]
                         if useful[i][a_index] > 0:
                             useful[i][a_index] -= 1
+        return mispredicts, use_alt, hit, alt, pred, alt_pred
+
+    def replay(self, pcs: np.ndarray, taken: np.ndarray) -> int:
+        """Columnar replay: precomputed fold/index/tag streams.
+
+        :meth:`_stream_columns` precomputes every table index and tag
+        from the outcome column alone; :meth:`_replay_loop` then walks
+        the events over list-form tables.  Bit-parity with
+        predict()/update() covers both the mispredict count and all
+        post-replay state.
+        """
+        n = int(pcs.size)
+        if n == 0:
+            return 0
+        num_tables = len(self._tables)
+        index_cols, tag_cols, final_folds, base_idx, outcomes, full = (
+            self._stream_columns(pcs, taken)
+        )
+        base = self._base.tolist()
+        ctr = [t.tolist() for t in self._ctr]
+        tag_tables = [t.tolist() for t in self._tag]
+        useful = [t.tolist() for t in self._useful]
+        mispredicts, use_alt, hit, alt, pred, alt_pred = self._replay_loop(
+            index_cols, tag_cols, base_idx, outcomes,
+            base, ctr, tag_tables, useful, self._use_alt,
+        )
         # State write-back: tables, folds, history window and the
         # per-prediction scratch the scalar pair would have left behind.
         self._use_alt = use_alt
@@ -358,6 +411,40 @@ class TagePredictor(BranchPredictor):
         self._pred = pred
         self._alt_pred = alt_pred
         return mispredicts
+
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """Per-stream columnar replay without the deep copy.
+
+        Every stream's fold/index/tag columns are precomputed from this
+        predictor's *current* history (all streams start from the same
+        state — they are independent sweep cells), and the sequential
+        loop then runs over fresh list-form copies of the current
+        tables, which are simply discarded afterwards.  Compared to the
+        base-class deep-copy fallback this skips cloning the predictor
+        object graph per stream and shares the column machinery; the
+        inherently sequential tag-match walk is unchanged.  ``self`` is
+        left untouched.
+        """
+        counts: list[int] = []
+        for pcs, taken in streams:
+            if pcs.size == 0:
+                counts.append(0)
+                continue
+            index_cols, tag_cols, _, base_idx, outcomes, _ = (
+                self._stream_columns(pcs, taken)
+            )
+            mispredicts, _, _, _, _, _ = self._replay_loop(
+                index_cols, tag_cols, base_idx, outcomes,
+                self._base.tolist(),
+                [t.tolist() for t in self._ctr],
+                [t.tolist() for t in self._tag],
+                [t.tolist() for t in self._useful],
+                self._use_alt,
+            )
+            counts.append(mispredicts)
+        return counts
 
     def _outgoing_bit(self, length: int) -> int:
         """Outcome leaving a ``length``-bit history window, zero-filled.

@@ -7,13 +7,19 @@ predictors proposal the paper's Gshare baseline comes from.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ...errors import SimulationError
 from .base import BranchPredictor
 from .bimodal import BimodalPredictor
 from .gshare import GsharePredictor
-from .replay import saturating_counter_scan
+from .replay import (
+    saturating_counter_scan,
+    segment_counts,
+    stream_bounds,
+)
 
 
 class TournamentPredictor(BranchPredictor):
@@ -80,6 +86,45 @@ class TournamentPredictor(BranchPredictor):
         predictions = np.where(before >= 2, gshare, bimodal)
         self._last = None
         return int(np.count_nonzero(predictions != outcomes))
+
+    def replay_batch(
+        self, streams: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[int]:
+        """All streams through one chooser scan over disjoint index spaces.
+
+        Both components produce their per-stream prediction columns via
+        their own batched scans (each stream seeded from the current
+        tables, nothing written back); the chooser — whose delta per
+        event is fully determined by those predictions — then replays
+        as one more concatenated scan with stream ``b``'s chooser
+        indices offset by ``b × entries``.  Exactly equivalent to a
+        deep-copied replay per stream; ``self`` is left untouched.
+        """
+        if not streams:
+            return []
+        bimodal_cols = self._bimodal.replay_batch_predictions(streams)
+        gshare_cols = self._gshare.replay_batch_predictions(streams)
+        chooser_entries = self._chooser_mask + 1
+        counts = np.array([pcs.size for pcs, _ in streams], dtype=np.int64)
+        raw = np.concatenate(
+            [((pcs >> 2) & self._chooser_mask) for pcs, _ in streams]
+        )
+        offsets = np.repeat(
+            np.arange(len(streams), dtype=np.int64) * chooser_entries, counts
+        )
+        bimodal = np.concatenate(bimodal_cols)
+        gshare = np.concatenate(gshare_cols)
+        outcomes = np.concatenate([taken for _, taken in streams]) != 0
+        deltas = np.where(
+            bimodal == gshare,
+            0,
+            np.where(gshare == outcomes, 1, -1),
+        ).astype(np.int64)
+        before, _, _ = saturating_counter_scan(
+            raw + offsets, deltas, self._chooser[raw].astype(np.int64), 0, 3
+        )
+        predictions = np.where(before >= 2, gshare, bimodal)
+        return segment_counts(predictions != outcomes, stream_bounds(counts))
 
     @property
     def storage_bits(self) -> int:

@@ -439,22 +439,29 @@ class CacheHierarchy:
         )
 
 
-def expand_touches(
-    instrumenter: Instrumenter,
+def expand_touch_columns(
+    bases: np.ndarray,
+    rows: np.ndarray,
+    row_bytes: np.ndarray,
+    pitches: np.ndarray,
+    repeats: np.ndarray,
     sample_period: int = 8,
     line_bytes: int = LINE_BYTES,
 ) -> np.ndarray:
-    """Expand recorded touches into a sampled line-address stream.
+    """Expand columnar touches into a sampled line-address stream.
 
     For each rectangular touch, every cache line it covers is accessed
     once (streaming kernels touch each line once per pass; ``repeats``
     re-appends the region's lines).  Only lines whose index is 0 modulo
     ``sample_period`` are kept, matching
     :class:`CacheHierarchy`'s set sampling.
+
+    Every stage is per-touch independent and order-preserving, so the
+    expansion is **concatenation-safe**: expanding a touch stream chunk
+    by chunk yields exactly the concatenation of the chunks' line
+    streams.  That property is what lets a streaming capture feed the
+    hierarchy while the encode runs (see :class:`TouchStreamSink`).
     """
-    bases, rows, row_bytes, pitches, _writes, repeats = (
-        instrumenter.touch_arrays()
-    )
     touches = len(bases)
     if touches == 0:
         return np.empty(0, dtype=np.int64)
@@ -534,6 +541,61 @@ def expand_touches(
         + out_local % np.maximum(block_len[out_touch], 1)
     )
     return blocks[source]
+
+
+def expand_touches(
+    instrumenter: Instrumenter,
+    sample_period: int = 8,
+    line_bytes: int = LINE_BYTES,
+) -> np.ndarray:
+    """Expand an instrumenter's buffered touches into sampled lines.
+
+    Whole-stream wrapper over :func:`expand_touch_columns`; raises if
+    the instrumenter streamed its touches to sinks (the whole stream is
+    no longer held).
+    """
+    bases, rows, row_bytes, pitches, _writes, repeats = (
+        instrumenter.touch_arrays()
+    )
+    return expand_touch_columns(
+        bases, rows, row_bytes, pitches, repeats,
+        sample_period=sample_period, line_bytes=line_bytes,
+    )
+
+
+class TouchStreamSink:
+    """Touch sink cascading each flushed chunk through a hierarchy.
+
+    Register on an :class:`~repro.trace.instrument.Instrumenter` to
+    simulate cache traffic *while the encode runs*: each chunk expands
+    to its sampled line stream (concatenation-safe, see
+    :func:`expand_touch_columns`) and cascades through the hierarchy,
+    whose per-set warm state carries across chunks — so final counters
+    and contents are bit-identical to a whole-stream replay, with peak
+    memory O(chunk) instead of O(touches).
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.chunks = 0
+        self.lines = 0
+
+    def __call__(
+        self,
+        base: np.ndarray,
+        rows: np.ndarray,
+        row_bytes: np.ndarray,
+        pitch: np.ndarray,
+        write: np.ndarray,
+        repeats: np.ndarray,
+    ) -> None:
+        lines = expand_touch_columns(
+            base, rows, row_bytes, pitch, repeats,
+            sample_period=self.hierarchy.sample_period,
+        )
+        self.chunks += 1
+        self.lines += int(lines.size)
+        self.hierarchy.access_lines(lines)
 
 
 def simulate_encode_traffic(

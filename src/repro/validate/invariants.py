@@ -25,7 +25,13 @@ inputs:
 - **replay-batch-parity** — the batched multi-stream
   :meth:`~repro.uarch.branch.base.BranchPredictor.replay_batch` kernel
   matches per-stream replays from the same starting state and leaves
-  the predictor itself untouched.
+  the predictor itself untouched, for all seven predictor
+  configurations the paper and its ablations evaluate.
+- **capture-stream-parity** — streaming capture (bounded-window sinks
+  feeding the cache hierarchy and the midpoint branch reservoir while
+  events arrive) produces bit-identical cache counters and contents,
+  midpoint trace columns, predictor results, and instruction counts
+  to the whole-stream buffered capture.
 - **predictor-replay-determinism** — replaying one branch stream on
   two fresh instances of any predictor yields identical predictions.
 - **tage-fold-reference** — TAGE's incrementally folded history
@@ -49,13 +55,21 @@ from ..errors import SimulationError, ValidationError
 from ..obs.context import current_obs
 from ..obs.span import trace_span
 from ..trace.branchtrace import BranchTrace
+from ..trace.instrument import Instrumenter
+from ..trace.sampling import MidpointReservoir, extract_midpoint_window
 from ..uarch.branch.base import run_trace
 from ..uarch.branch.bimodal import BimodalPredictor
-from ..uarch.branch.gshare import gshare_2kb
+from ..uarch.branch.gshare import gshare_2kb, gshare_32kb
 from ..uarch.branch.perceptron import PerceptronPredictor
-from ..uarch.branch.tage import TagePredictor, tage_8kb
+from ..uarch.branch.tage import TagePredictor, tage_8kb, tage_64kb
 from ..uarch.branch.tournament import TournamentPredictor
-from ..uarch.cache import Cache, CacheConfig, CacheHierarchy
+from ..uarch.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    TouchStreamSink,
+    expand_touches,
+)
 from ..uarch.topdown import classify_slots
 from ..parallel.scaling import topdown_with_threads
 
@@ -278,6 +292,20 @@ REPLAY_PARITY_FACTORIES: tuple[Callable[[], Any], ...] = (
     tage_8kb,
 )
 
+#: All seven predictor configurations the paper and its ablations
+#: evaluate — the batch-parity invariant covers every one, because
+#: every one now has (or inherits) a ``replay_batch`` used by the CBP
+#: harness's ``run_trace_batch`` routing.
+BATCH_PARITY_FACTORIES: tuple[Callable[[], Any], ...] = (
+    BimodalPredictor,
+    gshare_2kb,
+    gshare_32kb,
+    TournamentPredictor,
+    PerceptronPredictor,
+    tage_8kb,
+    tage_64kb,
+)
+
 
 def _replay_scalar_parity(rng: np.random.Generator, case: int) -> list[str]:
     failures: list[str] = []
@@ -371,7 +399,7 @@ def _replay_batch_parity(rng: np.random.Generator, case: int) -> list[str]:
         )
     warmup = _random_branch_stream(rng, count=60)
     probe = _random_branch_stream(rng, count=100)
-    for factory in REPLAY_PARITY_FACTORIES:
+    for factory in BATCH_PARITY_FACTORIES:
         # Warmed state: every stream must replay from the *same*
         # starting point, and batching must not train that state.
         batcher, witness = factory(), factory()
@@ -400,6 +428,129 @@ def _replay_batch_parity(rng: np.random.Generator, case: int) -> list[str]:
                     "the predictor it ran on"
                 )
                 break
+    return failures
+
+
+def _drive_capture(
+    instrumenter: Instrumenter, events: list[tuple]
+) -> None:
+    """Replay one pre-drawn synthetic workload into an instrumenter."""
+    plane = instrumenter.register_plane(256, scale_h=2.0, scale_w=2.0)
+    for kind, payload in events:
+        if kind == "branch":
+            pc, taken = payload
+            instrumenter.branch(pc, taken)
+        else:
+            row, nrows, col, ncols, write, repeats = payload
+            instrumenter.touch(
+                plane, row, nrows, col, ncols, write=write, repeats=repeats
+            )
+
+
+def _random_capture_events(rng: np.random.Generator) -> list[tuple]:
+    """A shuffled mix of branch events and rectangular touches."""
+    events: list[tuple] = []
+    for pc, taken in _random_branch_stream(rng, count=int(rng.integers(80, 400))):
+        events.append(("branch", (pc, taken)))
+    for _ in range(int(rng.integers(20, 120))):
+        events.append(
+            (
+                "touch",
+                (
+                    int(rng.integers(0, 128)),
+                    int(rng.integers(1, 8)),
+                    int(rng.integers(0, 192)),
+                    int(rng.integers(1, 64)),
+                    bool(rng.integers(0, 2)),
+                    int(rng.integers(1, 3)),
+                ),
+            )
+        )
+    rng.shuffle(events)
+    return events
+
+
+def _capture_stream_parity(rng: np.random.Generator, case: int) -> list[str]:
+    """Streaming capture is bit-identical to buffered capture.
+
+    One synthetic workload is driven into a buffered instrumenter and
+    into a streaming one whose sinks flush at a small randomized window
+    (deliberately shorter than the predictors' history lengths, so
+    chunk boundaries land mid-history).  Cache counters and final
+    contents, the extracted midpoint trace, predictor results over it,
+    and the instruction-count vector must all match exactly.
+    """
+    failures: list[str] = []
+    events = _random_capture_events(rng)
+    sample_period = int(2 ** rng.integers(0, 3))
+    window = int(rng.integers(3, 48))
+    max_window = int(rng.integers(32, 200))
+
+    buffered = Instrumenter()
+    _drive_capture(buffered, events)
+
+    streamed = Instrumenter()
+    hier_buf = _small_hierarchy(sample_period)
+    hier_stream = _small_hierarchy(sample_period)
+    reservoir = MidpointReservoir(max_window)
+    streamed.register_touch_sink(TouchStreamSink(hier_stream), window=window)
+    streamed.register_branch_sink(reservoir, window=window)
+    _drive_capture(streamed, events)
+    streamed.flush_stream()
+
+    hier_buf.access_lines(expand_touches(buffered, sample_period))
+    for name in ("l1d", "l2", "llc"):
+        a, b = getattr(hier_buf, name), getattr(hier_stream, name)
+        if (a.accesses, a.misses) != (b.accesses, b.misses):
+            failures.append(
+                f"case {case}: {name} buffered ({a.accesses}, {a.misses}) "
+                f"!= streamed ({b.accesses}, {b.misses})"
+            )
+        if a._sets != b._sets:
+            failures.append(
+                f"case {case}: {name} final contents diverge between "
+                "buffered and streamed capture"
+            )
+
+    if reservoir.total_events != buffered.decision_branches:
+        failures.append(
+            f"case {case}: reservoir saw {reservoir.total_events} events, "
+            f"instrumenter recorded {buffered.decision_branches}"
+        )
+    fraction = min(1.0, max_window / max(1, buffered.decision_branches))
+    expect_trace = extract_midpoint_window(buffered, fraction=fraction)
+    got_trace = reservoir.extract(
+        streamed.total_instructions, fraction=fraction
+    )
+    e_pcs, e_taken = expect_trace.columns()
+    g_pcs, g_taken = got_trace.columns()
+    if not (
+        np.array_equal(e_pcs, g_pcs) and np.array_equal(e_taken, g_taken)
+    ):
+        failures.append(
+            f"case {case}: reservoir window columns != buffered midpoint "
+            f"window (total {buffered.decision_branches}, keep {len(expect_trace)})"
+        )
+    elif expect_trace.window_instructions != got_trace.window_instructions:
+        failures.append(
+            f"case {case}: window_instructions diverge "
+            f"({expect_trace.window_instructions} != "
+            f"{got_trace.window_instructions})"
+        )
+    else:
+        for factory in (gshare_2kb, tage_8kb):
+            a = run_trace(factory(), expect_trace)
+            b = run_trace(factory(), got_trace)
+            if (a.mispredicts, a.branches) != (b.mispredicts, b.branches):
+                failures.append(
+                    f"case {case}: {a.predictor} result diverges on the "
+                    "streamed window"
+                )
+    if not np.array_equal(buffered.counts.vec, streamed.counts.vec):
+        failures.append(
+            f"case {case}: instruction-count vectors diverge between "
+            "buffered and streamed capture"
+        )
     return failures
 
 
@@ -494,8 +645,16 @@ INVARIANTS: dict[str, tuple[str, Callable[[np.random.Generator, int], list[str]]
     ),
     "replay-batch-parity": (
         "Batched multi-stream replay matches per-stream replays from "
-        "the same state and leaves the predictor untouched.",
+        "the same state and leaves the predictor untouched, for all "
+        "seven predictor configurations.",
         _replay_batch_parity,
+    ),
+    "capture-stream-parity": (
+        "Streaming capture (chunked sinks + midpoint reservoir) is "
+        "bit-identical to buffered capture: cache counters and "
+        "contents, midpoint trace, predictor stats, instruction "
+        "counts.",
+        _capture_stream_parity,
     ),
     "predictor-replay-determinism": (
         "Every branch predictor is deterministic under trace replay.",
